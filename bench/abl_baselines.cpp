@@ -1,0 +1,68 @@
+// Ablation: multilevel vs the pre-multilevel baselines (geometric RCB
+// and spectral recursive bisection) — quantifying the background's
+// opening claim: "Multilevel techniques show great improvements in the
+// quality of partitions and partitioning speed as compared to other
+// techniques [4, 5]".
+#include <benchmark/benchmark.h>
+
+#include "baselines/rcb.hpp"
+#include "baselines/spectral.hpp"
+#include "core/partitioner.hpp"
+#include "gen/generators.hpp"
+
+namespace {
+
+using namespace gp;
+
+struct Fixture {
+  std::vector<Point2D> coords;
+  CsrGraph g;
+  Fixture() { g = delaunay_graph(50000, 21, &coords); }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_MultilevelMetis(benchmark::State& state) {
+  auto& f = fixture();
+  PartitionOptions opts;
+  opts.k = 64;
+  wgt_t cut = 0;
+  for (auto _ : state) {
+    const auto r = make_serial_partitioner()->run(f.g, opts);
+    cut = r.cut;
+    benchmark::DoNotOptimize(cut);
+  }
+  state.counters["cut"] = benchmark::Counter(static_cast<double>(cut));
+}
+BENCHMARK(BM_MultilevelMetis)->Unit(benchmark::kMillisecond);
+
+void BM_GeometricRcb(benchmark::State& state) {
+  auto& f = fixture();
+  wgt_t cut = 0;
+  for (auto _ : state) {
+    const auto p = rcb_partition(f.g, f.coords, 64);
+    cut = edge_cut(f.g, p);
+    benchmark::DoNotOptimize(cut);
+  }
+  state.counters["cut"] = benchmark::Counter(static_cast<double>(cut));
+}
+BENCHMARK(BM_GeometricRcb)->Unit(benchmark::kMillisecond);
+
+void BM_SpectralRecursive(benchmark::State& state) {
+  auto& f = fixture();
+  wgt_t cut = 0;
+  for (auto _ : state) {
+    const auto p = spectral_partition(f.g, 64, {120, 1});
+    cut = edge_cut(f.g, p);
+    benchmark::DoNotOptimize(cut);
+  }
+  state.counters["cut"] = benchmark::Counter(static_cast<double>(cut));
+}
+BENCHMARK(BM_SpectralRecursive)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

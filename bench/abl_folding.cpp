@@ -1,0 +1,48 @@
+// Ablation: PT-Scotch-style folding in the distributed partitioner
+// (Background II-B: "a folding technique is used ... the two groups can
+// continue the matching phase independently").  Compares the ParMetis
+// pipeline with and without the folding stage: folding pays an earlier,
+// larger broadcast to delete all remaining ghost/match message rounds.
+#include <benchmark/benchmark.h>
+
+#include "core/partitioner.hpp"
+#include "gen/generators.hpp"
+
+namespace {
+
+const gp::CsrGraph& test_graph() {
+  static const gp::CsrGraph g = gp::road_network_graph(150000, 13);
+  return g;
+}
+
+void run(benchmark::State& state, gp::vid_t fold_threshold) {
+  const auto& g = test_graph();
+  double modeled = 0, comm_s = 0;
+  gp::wgt_t cut = 0;
+  for (auto _ : state) {
+    gp::PartitionOptions opts;
+    opts.k = 64;
+    opts.ranks = 8;
+    opts.par_fold_threshold = fold_threshold;
+    const auto r = gp::make_par_partitioner()->run(g, opts);
+    benchmark::DoNotOptimize(r.cut);
+    modeled = r.modeled_seconds;
+    comm_s = r.ledger.seconds_with_prefix("comm/");
+    cut = r.cut;
+  }
+  state.counters["modeled_seconds"] = benchmark::Counter(modeled);
+  state.counters["comm_seconds"] = benchmark::Counter(comm_s);
+  state.counters["cut"] = benchmark::Counter(static_cast<double>(cut));
+}
+
+void BM_ParMetisNoFolding(benchmark::State& state) { run(state, 0); }
+void BM_ParMetisFoldAt16k(benchmark::State& state) { run(state, 16384); }
+void BM_ParMetisFoldAt64k(benchmark::State& state) { run(state, 65536); }
+
+BENCHMARK(BM_ParMetisNoFolding)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParMetisFoldAt16k)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParMetisFoldAt64k)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

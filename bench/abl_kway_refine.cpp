@@ -1,0 +1,58 @@
+// Ablation: scan-order vs priority-queue (gain-order) greedy k-way
+// refinement — the refinement-ordering design choice in the serial
+// baseline (real Metis processes boundary vertices in gain order).
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.hpp"
+#include "serial/kway_refine.hpp"
+#include "serial/rb_partition.hpp"
+
+namespace {
+
+using namespace gp;
+
+struct Fixture {
+  CsrGraph g = delaunay_graph(40000, 11);
+  Partition base;
+  Fixture() {
+    Rng rng(3);
+    base = recursive_bisection(g, 32, 0.05, rng);
+    for (vid_t v = 0; v < g.num_vertices(); v += 23) {
+      base.where[static_cast<std::size_t>(v)] = static_cast<part_t>(
+          (base.where[static_cast<std::size_t>(v)] + 1) % 32);
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_ScanOrderRefine(benchmark::State& state) {
+  auto& f = fixture();
+  wgt_t cut = 0;
+  for (auto _ : state) {
+    Partition p = f.base;
+    cut = kway_refine_serial(f.g, p, 0.05, 8).cut_after;
+    benchmark::DoNotOptimize(p.where.data());
+  }
+  state.counters["cut_after"] = benchmark::Counter(static_cast<double>(cut));
+}
+BENCHMARK(BM_ScanOrderRefine)->Unit(benchmark::kMillisecond);
+
+void BM_GainOrderPqRefine(benchmark::State& state) {
+  auto& f = fixture();
+  wgt_t cut = 0;
+  for (auto _ : state) {
+    Partition p = f.base;
+    cut = kway_refine_pq(f.g, p, 0.05, 8).cut_after;
+    benchmark::DoNotOptimize(p.where.data());
+  }
+  state.counters["cut_after"] = benchmark::Counter(static_cast<double>(cut));
+}
+BENCHMARK(BM_GainOrderPqRefine)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Ablation: variable-width kernel launches (paper Section III-D).
+// GP-metis is NOT persistent-threaded like mt-metis: "the kernels are
+// launched with a variable number of threads ... to balance the load
+// among the threads as much as possible and to maximize the
+// performance".  Compares shrinking the launch width level by level
+// against keeping the initial width, on a deep coarsening hierarchy.
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.hpp"
+#include "hybrid/gp_partitioner.hpp"
+
+namespace {
+
+const gp::CsrGraph& test_graph() {
+  static const gp::CsrGraph g = gp::delaunay_graph(150000, 19);
+  return g;
+}
+
+void run(benchmark::State& state, bool shrink) {
+  const auto& g = test_graph();
+  double modeled = 0;
+  int levels = 0;
+  for (auto _ : state) {
+    gp::PartitionOptions opts;
+    opts.k = 64;
+    opts.gpu_cpu_threshold = 2048;
+    opts.gpu_shrink_launch = shrink;
+    gp::GpPhaseLog log;
+    const auto r = gp::gp_metis_run(g, opts, &log);
+    benchmark::DoNotOptimize(r.cut);
+    modeled = r.modeled_seconds;
+    levels = log.gpu_coarsen_levels;
+  }
+  state.counters["modeled_seconds"] = benchmark::Counter(modeled);
+  state.counters["gpu_levels"] = benchmark::Counter(static_cast<double>(levels));
+}
+
+void BM_ShrinkingLaunchWidth(benchmark::State& state) { run(state, true); }
+void BM_FixedLaunchWidth(benchmark::State& state) { run(state, false); }
+
+BENCHMARK(BM_ShrinkingLaunchWidth)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FixedLaunchWidth)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Ablation: matching policy (HEM vs RM vs LEM), the comparison the
+// paper's background section summarizes with "heavy edge matching
+// exhibits the best results".  Measures multilevel coarsening quality:
+// coarsen 5 levels under each policy, partition the coarse graph the
+// same way, project without refinement, and compare the resulting cuts
+// (refinement off isolates the matching policy's contribution).
+#include <benchmark/benchmark.h>
+
+#include "core/matching.hpp"
+#include "gen/generators.hpp"
+#include "serial/hem_matching.hpp"
+#include "serial/rb_partition.hpp"
+
+namespace {
+
+using namespace gp;
+
+const CsrGraph& test_graph() {
+  // Weighted coarse levels are where the policies diverge; start from a
+  // Delaunay mesh so level-1+ edge weights vary.
+  static const CsrGraph g = delaunay_graph(40000, 17);
+  return g;
+}
+
+wgt_t coarsen_and_cut(MatchPolicy policy, std::uint64_t seed) {
+  Rng rng(seed);
+  CsrGraph cur = test_graph();
+  std::vector<std::vector<vid_t>> cmaps;
+  for (int lvl = 0; lvl < 6 && cur.num_vertices() > 500; ++lvl) {
+    auto m = match_serial_policy(cur, policy, rng);
+    CsrGraph coarse = contract_serial(cur, m.match, m.cmap, m.n_coarse);
+    cmaps.push_back(std::move(m.cmap));
+    cur = std::move(coarse);
+  }
+  Partition p = recursive_bisection(cur, 16, 0.03, rng);
+  for (std::size_t i = cmaps.size(); i-- > 0;) {
+    p.where = project_partition(cmaps[i], p.where);
+  }
+  return edge_cut(test_graph(), p);
+}
+
+void run_policy(benchmark::State& state, MatchPolicy policy) {
+  wgt_t cut = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cut = coarsen_and_cut(policy, seed++);
+    benchmark::DoNotOptimize(cut);
+  }
+  state.counters["projected_cut"] =
+      benchmark::Counter(static_cast<double>(cut));
+}
+
+void BM_HeavyEdgeMatching(benchmark::State& state) {
+  run_policy(state, MatchPolicy::kHeavyEdge);
+}
+void BM_RandomMatching(benchmark::State& state) {
+  run_policy(state, MatchPolicy::kRandom);
+}
+void BM_LightEdgeMatching(benchmark::State& state) {
+  run_policy(state, MatchPolicy::kLightEdge);
+}
+BENCHMARK(BM_HeavyEdgeMatching)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RandomMatching)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LightEdgeMatching)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Ablation: the multi-GPU extension (the paper's future work).  Sweeps
+// the device count and reports modeled time, per-device peak memory, and
+// halo-exchange traffic — the scaling trade the extension buys.
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.hpp"
+#include "hybrid/multi_gpu_partitioner.hpp"
+
+namespace {
+
+const gp::CsrGraph& test_graph() {
+  static const gp::CsrGraph g = gp::bubble_mesh_graph(250000, 16, 3);
+  return g;
+}
+
+void BM_MultiGpuSweep(benchmark::State& state) {
+  const auto& g = test_graph();
+  gp::MultiGpuLog log;
+  double modeled = 0;
+  for (auto _ : state) {
+    gp::PartitionOptions opts;
+    opts.k = 64;
+    opts.gpu_devices = static_cast<int>(state.range(0));
+    opts.gpu_cpu_threshold = 4096;
+    const auto r = gp::multi_gpu_run(g, opts, &log);
+    benchmark::DoNotOptimize(r.cut);
+    modeled = r.modeled_seconds;
+  }
+  state.counters["modeled_seconds"] = benchmark::Counter(modeled);
+  state.counters["peak_device_MB"] = benchmark::Counter(
+      static_cast<double>(log.peak_device_bytes) / 1.0e6);
+  state.counters["halo_MB"] = benchmark::Counter(
+      static_cast<double>(log.halo_exchange_bytes) / 1.0e6);
+}
+BENCHMARK(BM_MultiGpuSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Ablation: refinement strategies.  Compares
+//   * the GPU lock-free buffered refinement (per-partition request
+//     buffers + atomic counters + explore kernel),
+//   * the mt buffered refinement, and
+//   * serial greedy k-way refinement,
+// on the same perturbed partition, reporting cut improvement as counters.
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.hpp"
+#include "hybrid/gpu_refine.hpp"
+#include "mt/mt_refine.hpp"
+#include "serial/kway_refine.hpp"
+#include "serial/rb_partition.hpp"
+
+namespace {
+
+struct Fixture {
+  gp::CsrGraph g = gp::delaunay_graph(60000, 4);
+  gp::Partition base;
+
+  Fixture() {
+    gp::Rng rng(2);
+    base = gp::recursive_bisection(g, 64, 0.03, rng);
+    // Perturb to give every refiner real work.
+    for (gp::vid_t v = 0; v < g.num_vertices(); v += 37) {
+      base.where[static_cast<std::size_t>(v)] =
+          static_cast<gp::part_t>((base.where[static_cast<std::size_t>(v)] + 1) %
+                                  64);
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_SerialKwayRefine(benchmark::State& state) {
+  auto& f = fixture();
+  gp::wgt_t cut_after = 0;
+  for (auto _ : state) {
+    gp::Partition p = f.base;
+    auto st = gp::kway_refine_serial(f.g, p, 0.05, 8);
+    cut_after = st.cut_after;
+    benchmark::DoNotOptimize(p.where.data());
+  }
+  state.counters["cut_after"] =
+      benchmark::Counter(static_cast<double>(cut_after));
+}
+BENCHMARK(BM_SerialKwayRefine)->Unit(benchmark::kMillisecond);
+
+void BM_MtBufferedRefine(benchmark::State& state) {
+  auto& f = fixture();
+  gp::ThreadPool pool(8);
+  gp::MtContext ctx{&pool, nullptr, 1};
+  gp::wgt_t cut_after = 0;
+  for (auto _ : state) {
+    gp::Partition p = f.base;
+    auto st = gp::mt_refine(f.g, p, 0.05, 8, ctx, 0);
+    cut_after = st.cut_after;
+    benchmark::DoNotOptimize(p.where.data());
+  }
+  state.counters["cut_after"] =
+      benchmark::Counter(static_cast<double>(cut_after));
+}
+BENCHMARK(BM_MtBufferedRefine)->Unit(benchmark::kMillisecond);
+
+void BM_GpuBufferedRefine(benchmark::State& state) {
+  auto& f = fixture();
+  gp::Device dev;
+  auto gg = gp::GpuGraph::upload(dev, f.g, "bench");
+  gp::wgt_t cut_after = 0;
+  for (auto _ : state) {
+    gp::DeviceBuffer<gp::part_t> dw(dev, f.base.where.size(), "w");
+    dw.h2d(f.base.where);
+    (void)gp::gpu_refine(dev, gg, dw, 64, 0.05, 8, 0, 1 << 14);
+    gp::Partition p{64, dw.d2h_vector()};
+    cut_after = gp::edge_cut(f.g, p);
+    benchmark::DoNotOptimize(p.where.data());
+  }
+  state.counters["cut_after"] =
+      benchmark::Counter(static_cast<double>(cut_after));
+}
+BENCHMARK(BM_GpuBufferedRefine)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Ablation: the device-wide prefix sum behind the 4-kernel cmap pipeline
+// (Fig. 4).  Compares the 3-launch blocked device scan against the serial
+// and pool-parallel host scans at several sizes.
+#include <benchmark/benchmark.h>
+
+#include "gpu/scan.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<std::int64_t> make_input(std::int64_t n) {
+  gp::Rng rng(7);
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.next_below(16));
+  return v;
+}
+
+void BM_SerialScan(benchmark::State& state) {
+  const auto input = make_input(state.range(0));
+  for (auto _ : state) {
+    auto v = input;
+    gp::inclusive_scan_serial(v);
+    benchmark::DoNotOptimize(v.back());
+  }
+}
+BENCHMARK(BM_SerialScan)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_HostParallelScan(benchmark::State& state) {
+  const auto input = make_input(state.range(0));
+  gp::ThreadPool pool(8);
+  for (auto _ : state) {
+    auto v = input;
+    gp::inclusive_scan_parallel(pool, v);
+    benchmark::DoNotOptimize(v.back());
+  }
+}
+BENCHMARK(BM_HostParallelScan)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_DeviceScan(benchmark::State& state) {
+  const auto input = make_input(state.range(0));
+  gp::Device dev;
+  for (auto _ : state) {
+    auto buf = gp::to_device(dev, input, "scan");
+    const auto total = gp::device_inclusive_scan(dev, buf);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_DeviceScan)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Ablation: the GPU->CPU handoff threshold (the paper's "threshold level"
+// beyond which coarsening is faster on the CPU than the GPU due to the
+// lack of sufficient parallel tasks).  Sweeps the threshold and reports
+// the modeled total time — the U-shape justifies the design choice.
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.hpp"
+#include "hybrid/gp_partitioner.hpp"
+
+namespace {
+
+const gp::CsrGraph& test_graph() {
+  static const gp::CsrGraph g = gp::delaunay_graph(120000, 9);
+  return g;
+}
+
+void BM_ThresholdSweep(benchmark::State& state) {
+  const auto& g = test_graph();
+  double modeled = 0;
+  int gpu_levels = 0;
+  for (auto _ : state) {
+    gp::PartitionOptions opts;
+    opts.k = 64;
+    opts.gpu_cpu_threshold = static_cast<gp::vid_t>(state.range(0));
+    gp::GpPhaseLog log;
+    const auto r = gp::gp_metis_run(g, opts, &log);
+    benchmark::DoNotOptimize(r.cut);
+    modeled = r.modeled_seconds;
+    gpu_levels = log.gpu_coarsen_levels;
+  }
+  state.counters["modeled_seconds"] = benchmark::Counter(modeled);
+  state.counters["gpu_levels"] =
+      benchmark::Counter(static_cast<double>(gpu_levels));
+}
+// Threshold from "hand off almost immediately" to "never hand off".
+BENCHMARK(BM_ThresholdSweep)
+    ->Arg(2048)
+    ->Arg(8192)
+    ->Arg(16384)
+    ->Arg(32768)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Reproduces Fig. 2: memory coalescing.  Replays the two vertex-to-thread
+// assignment policies on a real kernel access pattern and counts the
+// 128-byte transactions each warp issues:
+//
+//   blocked assignment — thread t reads vertices [t*n/T, (t+1)*n/T):
+//     a warp's threads touch vertices n/T apart -> up to 32 transactions
+//   strided assignment — thread t reads vertices t, t+T, t+2T, ...:
+//     a warp's threads touch consecutive vertices -> 1 transaction
+//     (the paper's Fig. 2 policy, used by all GP-metis kernels)
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpu/coalescing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gp;
+  using namespace gp::bench;
+  BenchConfig cfg = parse_args(argc, argv);
+
+  const std::int64_t T = 1 << 14;  // logical threads
+  const std::int64_t n = 1 << 20;  // vertices
+  const int elem = sizeof(vid_t);
+
+  std::printf("Figure 2. Memory coalescing: 128-byte transactions per warp\n");
+  std::printf("(one step of a kernel reading match[v] for each owned "
+              "vertex; %lld logical threads, %lld vertices)\n\n",
+              static_cast<long long>(T), static_cast<long long>(n));
+
+  // One access per logical thread per step: at step s, thread t reads...
+  auto analyze_policy = [&](const char* name, bool strided) {
+    std::uint64_t total_tx = 0, total_warps = 0;
+    const std::int64_t steps = n / T;
+    for (std::int64_t s = 0; s < steps; ++s) {
+      std::vector<std::uint64_t> addr(static_cast<std::size_t>(T));
+      for (std::int64_t t = 0; t < T; ++t) {
+        const std::int64_t v = strided ? (s * T + t) : (t * steps + s);
+        addr[static_cast<std::size_t>(t)] =
+            static_cast<std::uint64_t>(v) * elem;
+      }
+      const auto st = analyze_coalescing(addr);
+      total_tx += st.transactions;
+      total_warps += st.warps;
+    }
+    std::printf("  %-28s %6.2f transactions/warp\n", name,
+                static_cast<double>(total_tx) /
+                    static_cast<double>(total_warps));
+    return static_cast<double>(total_tx) / static_cast<double>(total_warps);
+  };
+
+  const double blocked = analyze_policy("blocked (uncoalesced)", false);
+  const double strided = analyze_policy("strided (paper's Fig. 2)", true);
+  std::printf("\n  coalescing gain: %.1fx fewer transactions\n",
+              blocked / strided);
+  std::printf("  shape check (strided ~1, blocked ~32): %s\n",
+              (strided < 1.5 && blocked > 16.0) ? "PASS" : "FAIL");
+  return (strided < 1.5 && blocked > 16.0) ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig. 5: speedup of ParMetis, mt-metis, and GP-metis over
+// serial Metis on the four graphs (k = 64, 3% imbalance, best of N runs).
+//
+// Paper's qualitative result (numeric cells are not in the provided
+// text): GP-metis outperforms Metis and ParMetis on all inputs and is
+// comparable to mt-metis — somewhat better on the larger graphs
+// (hugebubble, usa-roads), somewhat worse on the smaller ones (ldoor,
+// delaunay).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gp::bench;
+  const BenchConfig cfg = parse_args(argc, argv);
+  const auto rows = run_matrix(cfg, true);
+
+  std::printf("Figure 5. Speedup over serial Metis (modeled on the paper's "
+              "testbed: 8-core Xeon E5540 + GTX Titan)\n\n");
+  std::printf("%-12s %10s %10s %10s\n", "Graph", "ParMetis", "mt-metis",
+              "GP-metis");
+  for (const auto& gname : cfg.graphs) {
+    const double metis_s = find(rows, gname, "metis").modeled_s;
+    std::printf("%-12s %10.2f %10.2f %10.2f\n", gname.c_str(),
+                metis_s / find(rows, gname, "parmetis").modeled_s,
+                metis_s / find(rows, gname, "mt-metis").modeled_s,
+                metis_s / find(rows, gname, "gp-metis").modeled_s);
+  }
+
+  std::printf("\nShape checks against the paper's claims:\n");
+  bool all_ok = true;
+  for (const auto& gname : cfg.graphs) {
+    const double metis_s = find(rows, gname, "metis").modeled_s;
+    const double gp = metis_s / find(rows, gname, "gp-metis").modeled_s;
+    const double pm = metis_s / find(rows, gname, "parmetis").modeled_s;
+    const bool beats_metis = gp > 1.0;
+    const bool beats_parmetis = gp > pm;
+    std::printf("  %-12s GP-metis > Metis: %-4s  GP-metis > ParMetis: %s\n",
+                gname.c_str(), beats_metis ? "yes" : "NO",
+                beats_parmetis ? "yes" : "NO");
+    all_ok &= beats_metis && beats_parmetis;
+  }
+  std::printf("  overall: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

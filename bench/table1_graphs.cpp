@@ -1,0 +1,34 @@
+// Reproduces Table I: the input-graph inventory (name, vertices, edges,
+// description), for the synthetic stand-ins at the configured scale, with
+// the paper's full-size numbers alongside.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/graph_ops.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gp;
+  using namespace gp::bench;
+  const BenchConfig cfg = parse_args(argc, argv);
+
+  std::printf("TABLE I. Input graphs used in the graph partitioner evaluation\n");
+  std::printf("(synthetic stand-ins at scale %.5f of the paper's sizes)\n\n",
+              cfg.scale);
+  std::printf("%-12s %12s %14s %10s %14s %14s  %s\n", "Graph", "Vertices",
+              "Edges", "AvgDeg", "PaperVertices", "PaperEdges",
+              "Description");
+  for (const auto& info : paper_graphs()) {
+    bool selected = false;
+    for (const auto& s : cfg.graphs) selected |= (s == info.name);
+    if (!selected) continue;
+    const auto g = make_paper_graph(info.name, cfg.scale, cfg.seed);
+    const auto ds = degree_stats(g);
+    std::printf("%-12s %12d %14lld %10.2f %14d %14lld  %s\n",
+                info.name.c_str(), g.num_vertices(),
+                static_cast<long long>(g.num_edges()), ds.avg_degree,
+                info.paper_vertices,
+                static_cast<long long>(info.paper_edges),
+                info.description.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Table II: absolute runtimes (seconds) of the three parallel
+// partitioners.  For GP-metis the time includes CPU<->GPU transfers, as
+// in the paper; I/O is excluded everywhere.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gp::bench;
+  const BenchConfig cfg = parse_args(argc, argv);
+  const auto rows = run_matrix(cfg, true);
+
+  std::printf("TABLE II. Runtime (in seconds, modeled on the paper's "
+              "testbed; GP-metis includes transfer time)\n\n");
+  std::printf("%-12s %10s %10s %10s %12s\n", "Graph", "ParMetis", "mt-metis",
+              "GP-metis", "(Metis ref)");
+  for (const auto& gname : cfg.graphs) {
+    std::printf("%-12s %10.3f %10.3f %10.3f %12.3f\n", gname.c_str(),
+                find(rows, gname, "parmetis").modeled_s,
+                find(rows, gname, "mt-metis").modeled_s,
+                find(rows, gname, "gp-metis").modeled_s,
+                find(rows, gname, "metis").modeled_s);
+  }
+
+  std::printf("\nGP-metis transfer share (included above):\n");
+  for (const auto& gname : cfg.graphs) {
+    const auto& r = find(rows, gname, "gp-metis");
+    std::printf("  %-12s transfer %.4f s of %.3f s total (%.1f%%)\n",
+                gname.c_str(), r.phases.transfer, r.modeled_s,
+                100.0 * r.phases.transfer / r.modeled_s);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Table III: edge-cut ratio of each parallel partitioner
+// relative to serial Metis.  Unlike the timing tables this needs no cost
+// model — the cuts are measured exactly from the produced partitions.
+//
+// Paper's qualitative result: all three produce partitions of comparable
+// quality to Metis (ratios near 1), with some degradation for GP-metis on
+// a few graphs due to its much higher concurrency (higher conflict rate).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gp::bench;
+  const BenchConfig cfg = parse_args(argc, argv);
+  const auto rows = run_matrix(cfg, true);
+
+  std::printf("TABLE III. Edge-cut ratio in comparison to Metis "
+              "(measured, not modeled)\n\n");
+  std::printf("%-12s %10s %10s %10s %14s\n", "Graph", "ParMetis", "mt-metis",
+              "GP-metis", "(Metis cut)");
+  bool all_ok = true;
+  for (const auto& gname : cfg.graphs) {
+    const auto metis_cut =
+        static_cast<double>(find(rows, gname, "metis").cut);
+    const double pm = static_cast<double>(find(rows, gname, "parmetis").cut) / metis_cut;
+    const double mt = static_cast<double>(find(rows, gname, "mt-metis").cut) / metis_cut;
+    const double gp = static_cast<double>(find(rows, gname, "gp-metis").cut) / metis_cut;
+    std::printf("%-12s %10.3f %10.3f %10.3f %14.0f\n", gname.c_str(), pm, mt,
+                gp, metis_cut);
+    // Shape check: "comparable quality".  Road-network cuts are tiny
+    // (k=64 on an avg-degree-2.4 graph), so their ratios are the noisiest
+    // — the paper itself reports "quality degradation for some of the
+    // graphs"; accept up to 1.5 on these scaled-down instances.
+    all_ok &= pm < 1.5 && mt < 1.5 && gp < 1.5;
+  }
+  std::printf("\nbalance (constraint <= 1.03):\n");
+  for (const auto& gname : cfg.graphs) {
+    std::printf("  %-12s metis %.3f  parmetis %.3f  mt-metis %.3f  "
+                "gp-metis %.3f\n",
+                gname.c_str(), find(rows, gname, "metis").balance,
+                find(rows, gname, "parmetis").balance,
+                find(rows, gname, "mt-metis").balance,
+                find(rows, gname, "gp-metis").balance);
+  }
+  std::printf("\ncomparable-quality check: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Example: head-to-head comparison harness over the abstract Partitioner
+// interface — how a downstream user would pick a system for their graph.
+//
+// Usage: example_compare_partitioners [graph] [k] [scale]
+//   graph: ldoor | delaunay | hugebubble | usa-roads (default delaunay)
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "gen/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gp;
+  const std::string graph = argc > 1 ? argv[1] : "delaunay";
+  const part_t k = argc > 2 ? std::atoi(argv[2]) : 64;
+  const double scale = argc > 3 ? std::atof(argv[3]) : 1.0 / 128.0;
+
+  const CsrGraph g = make_paper_graph(graph, scale, 1);
+  std::printf("graph %s @ scale %.5f: %d vertices, %lld edges\n\n",
+              graph.c_str(), scale, g.num_vertices(),
+              static_cast<long long>(g.num_edges()));
+
+  PartitionOptions opts;
+  opts.k = k;
+  opts.eps = 0.03;
+
+  std::vector<std::unique_ptr<Partitioner>> systems;
+  systems.push_back(make_serial_partitioner());
+  systems.push_back(make_par_partitioner());
+  systems.push_back(make_mt_partitioner());
+  systems.push_back(make_hybrid_partitioner());
+
+  std::printf("%-10s %10s %9s %9s | %9s %9s %9s %9s\n", "system", "cut",
+              "balance", "modeled", "coarsen", "initpart", "uncoarse",
+              "transfer");
+  double metis_s = 0;
+  for (const auto& sys : systems) {
+    const auto r = sys->run(g, opts);
+    if (sys->name() == "metis") metis_s = r.modeled_seconds;
+    std::printf("%-10s %10lld %9.4f %8.3fs | %8.3fs %8.3fs %8.3fs %8.4fs\n",
+                sys->name().c_str(), static_cast<long long>(r.cut),
+                r.balance, r.modeled_seconds, r.phases.coarsen,
+                r.phases.initpart, r.phases.uncoarsen, r.phases.transfer);
+  }
+  std::printf("\nspeedups vs metis:\n");
+  for (const auto& sys : systems) {
+    if (sys->name() == "metis") continue;
+    const auto r = sys->run(g, opts);
+    std::printf("  %-10s %.2fx\n", sys->name().c_str(),
+                metis_s / r.modeled_seconds);
+  }
+  return 0;
+}

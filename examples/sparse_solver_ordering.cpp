@@ -1,0 +1,47 @@
+// Example: fill-reducing ordering for a sparse direct solver — the
+// nested-dissection application built on the library's bisection engine
+// (what `ndmetis` does for Metis).
+//
+// Orders a 2D FEM grid and a Delaunay mesh, comparing the symbolic
+// Cholesky fill-in of the natural ordering against nested dissection.
+#include <cstdio>
+#include <numeric>
+
+#include "apps/nested_dissection.hpp"
+#include "gen/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gp;
+  vid_t side = 40;
+  if (argc > 1) side = std::atoi(argv[1]);
+
+  struct Case {
+    const char* name;
+    CsrGraph graph;
+  };
+  const Case cases[] = {
+      {"grid2d", grid2d_graph(side, side)},
+      {"delaunay", delaunay_graph(side * side, 7)},
+  };
+
+  std::printf("%-10s %10s %14s %14s %10s\n", "mesh", "vertices",
+              "fill(natural)", "fill(nd)", "reduction");
+  for (const auto& c : cases) {
+    std::vector<vid_t> natural(
+        static_cast<std::size_t>(c.graph.num_vertices()));
+    std::iota(natural.begin(), natural.end(), 0);
+    const auto nd = nested_dissection_order(c.graph, {32, 1});
+
+    const auto f_nat = symbolic_fill_in(c.graph, natural);
+    const auto f_nd = symbolic_fill_in(c.graph, nd);
+    std::printf("%-10s %10d %14llu %14llu %9.1f%%\n", c.name,
+                c.graph.num_vertices(),
+                static_cast<unsigned long long>(f_nat),
+                static_cast<unsigned long long>(f_nd),
+                100.0 * (1.0 - static_cast<double>(f_nd) /
+                                   static_cast<double>(f_nat)));
+  }
+  std::printf("\nLower fill = fewer flops and less memory in the "
+              "factorization.\n");
+  return 0;
+}

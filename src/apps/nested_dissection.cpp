@@ -1,0 +1,176 @@
+#include "apps/nested_dissection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/graph_ops.hpp"
+#include "serial/bisection.hpp"
+#include "util/rng.hpp"
+
+namespace gp {
+
+namespace {
+
+struct NdCtx {
+  Rng rng;
+  vid_t leaf_size;
+  std::vector<vid_t>* perm;  // perm[old] = position
+  vid_t next_pos = 0;
+};
+
+/// Orders the subgraph `g` (ids[i] = original id of local vertex i).
+/// Positions are assigned bottom-up: halves first, separator last.
+void nd_rec(const CsrGraph& g, const std::vector<vid_t>& ids, NdCtx& ctx) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return;
+  if (n <= ctx.leaf_size) {
+    for (const vid_t id : ids) {
+      (*ctx.perm)[static_cast<std::size_t>(id)] = ctx.next_pos++;
+    }
+    return;
+  }
+
+  // Edge separator via GGGP + FM.
+  const wgt_t target0 = g.total_vertex_weight() / 2;
+  auto bis = gggp_bisect(g, target0, ctx.rng, 2);
+  const wgt_t slack = std::max<wgt_t>(1, target0 / 10);
+  fm_refine_bisection(g, bis.side,
+                      std::max<wgt_t>(1, target0 - slack),
+                      std::min<wgt_t>(g.total_vertex_weight() - 1,
+                                      target0 + slack),
+                      4);
+
+  // Vertex separator: greedy cover of the cut edges — for each cut edge
+  // take the endpoint with more cut neighbours (ties: side-0 vertex).
+  std::vector<char> in_sep(static_cast<std::size_t>(n), 0);
+  std::vector<vid_t> cut_deg(static_cast<std::size_t>(n), 0);
+  for (vid_t v = 0; v < n; ++v) {
+    for (const vid_t u : g.neighbors(v)) {
+      if (bis.side[static_cast<std::size_t>(u)] !=
+          bis.side[static_cast<std::size_t>(v)]) {
+        ++cut_deg[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    if (cut_deg[static_cast<std::size_t>(v)] == 0) continue;
+    if (in_sep[static_cast<std::size_t>(v)]) continue;
+    for (const vid_t u : g.neighbors(v)) {
+      if (bis.side[static_cast<std::size_t>(u)] ==
+          bis.side[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      if (in_sep[static_cast<std::size_t>(u)]) continue;
+      // Uncovered cut edge {v,u}: cover with the higher-cut-degree end.
+      if (cut_deg[static_cast<std::size_t>(v)] >=
+          cut_deg[static_cast<std::size_t>(u)]) {
+        in_sep[static_cast<std::size_t>(v)] = 1;
+        break;
+      }
+      in_sep[static_cast<std::size_t>(u)] = 1;
+    }
+  }
+
+  // Split into the two sides minus the separator.
+  std::vector<char> mask0(static_cast<std::size_t>(n)),
+      mask1(static_cast<std::size_t>(n));
+  std::vector<vid_t> sep_ids;
+  for (vid_t v = 0; v < n; ++v) {
+    if (in_sep[static_cast<std::size_t>(v)]) {
+      sep_ids.push_back(ids[static_cast<std::size_t>(v)]);
+      mask0[static_cast<std::size_t>(v)] = 0;
+      mask1[static_cast<std::size_t>(v)] = 0;
+    } else if (bis.side[static_cast<std::size_t>(v)] == 0) {
+      mask0[static_cast<std::size_t>(v)] = 1;
+    } else {
+      mask1[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  // Degenerate split (one side swallowed everything): order as a leaf to
+  // guarantee termination.
+  std::size_t n0 = 0, n1 = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    n0 += mask0[static_cast<std::size_t>(v)];
+    n1 += mask1[static_cast<std::size_t>(v)];
+  }
+  if (n0 == 0 || n1 == 0) {
+    for (const vid_t id : ids) {
+      (*ctx.perm)[static_cast<std::size_t>(id)] = ctx.next_pos++;
+    }
+    return;
+  }
+
+  std::vector<vid_t> map0, map1;
+  const CsrGraph g0 = induced_subgraph(g, mask0, &map0);
+  const CsrGraph g1 = induced_subgraph(g, mask1, &map1);
+  std::vector<vid_t> ids0(static_cast<std::size_t>(g0.num_vertices()));
+  std::vector<vid_t> ids1(static_cast<std::size_t>(g1.num_vertices()));
+  for (vid_t v = 0; v < n; ++v) {
+    if (map0[static_cast<std::size_t>(v)] != kInvalidVid) {
+      ids0[static_cast<std::size_t>(map0[static_cast<std::size_t>(v)])] =
+          ids[static_cast<std::size_t>(v)];
+    }
+    if (map1[static_cast<std::size_t>(v)] != kInvalidVid) {
+      ids1[static_cast<std::size_t>(map1[static_cast<std::size_t>(v)])] =
+          ids[static_cast<std::size_t>(v)];
+    }
+  }
+  nd_rec(g0, ids0, ctx);
+  nd_rec(g1, ids1, ctx);
+  // Separator vertices are eliminated last.
+  for (const vid_t id : sep_ids) {
+    (*ctx.perm)[static_cast<std::size_t>(id)] = ctx.next_pos++;
+  }
+}
+
+}  // namespace
+
+std::vector<vid_t> nested_dissection_order(const CsrGraph& g,
+                                           const NdOptions& opts) {
+  std::vector<vid_t> perm(static_cast<std::size_t>(g.num_vertices()),
+                          kInvalidVid);
+  NdCtx ctx{Rng(opts.seed), opts.leaf_size, &perm, 0};
+  std::vector<vid_t> ids(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(ids.begin(), ids.end(), 0);
+  nd_rec(g, ids, ctx);
+  return perm;
+}
+
+std::uint64_t symbolic_fill_in(const CsrGraph& g,
+                               const std::vector<vid_t>& perm) {
+  // Elimination game: process vertices in order; eliminating v connects
+  // all its not-yet-eliminated neighbours into a clique.  Fill = edges
+  // added.  Adjacency kept as sorted sets of *positions*.
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> inv(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) {
+    inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] = v;
+  }
+  std::vector<std::set<vid_t>> adj(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t pv = perm[static_cast<std::size_t>(v)];
+    for (const vid_t u : g.neighbors(v)) {
+      adj[static_cast<std::size_t>(pv)].insert(
+          perm[static_cast<std::size_t>(u)]);
+    }
+  }
+  std::uint64_t fill = 0;
+  for (vid_t pos = 0; pos < n; ++pos) {
+    auto& nb = adj[static_cast<std::size_t>(pos)];
+    // Later neighbours of the eliminated vertex.
+    std::vector<vid_t> later(nb.lower_bound(pos + 1), nb.end());
+    for (std::size_t i = 0; i < later.size(); ++i) {
+      for (std::size_t j = i + 1; j < later.size(); ++j) {
+        const vid_t a = later[i], b = later[j];
+        if (adj[static_cast<std::size_t>(a)].insert(b).second) {
+          adj[static_cast<std::size_t>(b)].insert(a);
+          ++fill;
+        }
+      }
+    }
+  }
+  return fill;
+}
+
+}  // namespace gp

@@ -1,0 +1,34 @@
+// Nested-dissection fill-reducing ordering — the classic downstream
+// application of a graph partitioner (Metis ships it as `ndmetis`; the
+// paper's intro lists "parallel processing" / scientific computation as
+// the motivating domain).  Recursively bisects the graph with the
+// library's GGGP+FM bisection, derives a vertex separator from the edge
+// separator, orders both halves first and the separator last.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace gp {
+
+struct NdOptions {
+  /// Recursion stops below this size; the remainder is ordered as-is.
+  vid_t leaf_size = 64;
+  std::uint64_t seed = 1;
+};
+
+/// Returns perm with perm[v] = new position of vertex v (an elimination
+/// order for sparse factorization).
+[[nodiscard]] std::vector<vid_t> nested_dissection_order(
+    const CsrGraph& g, const NdOptions& opts = NdOptions{});
+
+/// Counts the fill-in (new nonzeros) of a symbolic Cholesky elimination
+/// of g under the given order.  O(n * fill-degree) — fine for test-sized
+/// graphs; this is the metric nested dissection minimizes.
+[[nodiscard]] std::uint64_t symbolic_fill_in(const CsrGraph& g,
+                                             const std::vector<vid_t>& perm);
+
+}  // namespace gp

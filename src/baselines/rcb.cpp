@@ -1,0 +1,70 @@
+#include "baselines/rcb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gp {
+
+namespace {
+
+void rcb_rec(const CsrGraph& g, const std::vector<Point2D>& coords,
+             std::vector<vid_t>& ids, part_t k, part_t first_part,
+             std::vector<part_t>& where) {
+  if (k == 1 || ids.empty()) {
+    for (const vid_t v : ids) where[static_cast<std::size_t>(v)] = first_part;
+    return;
+  }
+  // Wider axis of this subset's bounding box.
+  double minx = 1e300, maxx = -1e300, miny = 1e300, maxy = -1e300;
+  for (const vid_t v : ids) {
+    const auto& p = coords[static_cast<std::size_t>(v)];
+    minx = std::min(minx, p.x);
+    maxx = std::max(maxx, p.x);
+    miny = std::min(miny, p.y);
+    maxy = std::max(maxy, p.y);
+  }
+  const bool split_x = (maxx - minx) >= (maxy - miny);
+
+  // Weighted split: sort along the axis and cut where the weight prefix
+  // crosses total * k0/k.
+  std::sort(ids.begin(), ids.end(), [&](vid_t a, vid_t b) {
+    const auto& pa = coords[static_cast<std::size_t>(a)];
+    const auto& pb = coords[static_cast<std::size_t>(b)];
+    return split_x ? pa.x < pb.x : pa.y < pb.y;
+  });
+  wgt_t total = 0;
+  for (const vid_t v : ids) total += g.vertex_weight(v);
+  const part_t k0 = (k + 1) / 2;
+  const wgt_t target0 = static_cast<wgt_t>(
+      (static_cast<double>(total) * k0) / static_cast<double>(k));
+
+  std::size_t cut = 0;
+  wgt_t acc = 0;
+  while (cut < ids.size() && acc < target0) {
+    acc += g.vertex_weight(ids[cut]);
+    ++cut;
+  }
+  cut = std::min(std::max<std::size_t>(cut, 1), ids.size() - (k - k0 > 0 ? 1 : 0));
+
+  std::vector<vid_t> left(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(cut));
+  std::vector<vid_t> right(ids.begin() + static_cast<std::ptrdiff_t>(cut), ids.end());
+  rcb_rec(g, coords, left, k0, first_part, where);
+  rcb_rec(g, coords, right, k - k0, first_part + k0, where);
+}
+
+}  // namespace
+
+Partition rcb_partition(const CsrGraph& g, const std::vector<Point2D>& coords,
+                        part_t k) {
+  assert(coords.size() == static_cast<std::size_t>(g.num_vertices()));
+  Partition p;
+  p.k = k;
+  p.where.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<vid_t> ids(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(ids.begin(), ids.end(), 0);
+  rcb_rec(g, coords, ids, k, 0, p.where);
+  return p;
+}
+
+}  // namespace gp

@@ -1,0 +1,21 @@
+// Recursive coordinate bisection (RCB) — the geometric partitioning
+// family the paper's background contrasts multilevel methods against
+// ("a unified geometric approach to graph separators", ref [4]).
+// Splits the point set at the weighted median of the wider axis and
+// recurses; fast and balanced, but blind to connectivity — the ablation
+// bench quantifies the cut penalty vs the multilevel partitioners.
+#pragma once
+
+#include "core/csr_graph.hpp"
+#include "core/partition.hpp"
+#include "gen/generators.hpp"
+
+namespace gp {
+
+/// Partitions by coordinates only (the graph supplies vertex weights).
+/// coords.size() must equal g.num_vertices().
+[[nodiscard]] Partition rcb_partition(const CsrGraph& g,
+                                      const std::vector<Point2D>& coords,
+                                      part_t k);
+
+}  // namespace gp

@@ -1,0 +1,149 @@
+#include "baselines/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/graph_ops.hpp"
+#include "util/rng.hpp"
+
+namespace gp {
+
+std::vector<double> fiedler_vector(const CsrGraph& g,
+                                   const SpectralOptions& opts) {
+  const vid_t n = g.num_vertices();
+  std::vector<double> x(static_cast<std::size_t>(n));
+  if (n == 0) return x;
+
+  // Shift: B = (2 * max_weighted_degree) I - L is PSD with the Fiedler
+  // direction as its dominant eigenvector once the constant vector is
+  // deflated.
+  double max_wdeg = 0;
+  std::vector<double> wdeg(static_cast<std::size_t>(n), 0);
+  for (vid_t v = 0; v < n; ++v) {
+    double d = 0;
+    for (const wgt_t w : g.neighbor_weights(v)) d += static_cast<double>(w);
+    wdeg[static_cast<std::size_t>(v)] = d;
+    max_wdeg = std::max(max_wdeg, d);
+  }
+  const double shift = 2.0 * max_wdeg + 1.0;
+
+  Rng rng(opts.seed);
+  for (auto& v : x) v = rng.next_double() - 0.5;
+
+  std::vector<double> y(static_cast<std::size_t>(n));
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int it = 0; it < opts.power_iterations; ++it) {
+    // Deflate the constant vector.
+    double mean = 0;
+    for (const double v : x) mean += v;
+    mean *= inv_n;
+    for (auto& v : x) v -= mean;
+
+    // y = B x = shift*x - (D - A) x.
+    for (vid_t v = 0; v < n; ++v) {
+      double acc = (shift - wdeg[static_cast<std::size_t>(v)]) *
+                   x[static_cast<std::size_t>(v)];
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.neighbor_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        acc += static_cast<double>(wts[i]) *
+               x[static_cast<std::size_t>(nbrs[i])];
+      }
+      y[static_cast<std::size_t>(v)] = acc;
+    }
+    // Normalize.
+    double norm = 0;
+    for (const double v : y) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) break;  // disconnected pathologies
+    const double inv = 1.0 / norm;
+    for (std::size_t i = 0; i < y.size(); ++i) x[i] = y[i] * inv;
+  }
+  // Final deflation for cleanliness.
+  double mean = 0;
+  for (const double v : x) mean += v;
+  mean *= inv_n;
+  for (auto& v : x) v -= mean;
+  return x;
+}
+
+Partition spectral_bisection(const CsrGraph& g, const SpectralOptions& opts) {
+  const vid_t n = g.num_vertices();
+  Partition p;
+  p.k = 2;
+  p.where.assign(static_cast<std::size_t>(n), 0);
+  if (n < 2) return p;
+
+  const auto fiedler = fiedler_vector(g, opts);
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    return fiedler[static_cast<std::size_t>(a)] <
+           fiedler[static_cast<std::size_t>(b)];
+  });
+  // Weighted median split.
+  const wgt_t total = g.total_vertex_weight();
+  wgt_t acc = 0;
+  for (const vid_t v : order) {
+    if (acc >= total / 2) p.where[static_cast<std::size_t>(v)] = 1;
+    acc += g.vertex_weight(v);
+  }
+  return p;
+}
+
+namespace {
+
+void spectral_rec(const CsrGraph& g, const std::vector<vid_t>& ids, part_t k,
+                  part_t first_part, const SpectralOptions& opts,
+                  std::vector<part_t>& where) {
+  if (k == 1 || g.num_vertices() == 0) {
+    for (const vid_t id : ids) where[static_cast<std::size_t>(id)] = first_part;
+    return;
+  }
+  SpectralOptions sub = opts;
+  sub.seed = opts.seed * 2 + static_cast<std::uint64_t>(first_part);
+  const Partition bis = spectral_bisection(g, sub);
+
+  const part_t k0 = (k + 1) / 2;
+  std::vector<char> mask0(static_cast<std::size_t>(g.num_vertices()));
+  std::vector<char> mask1(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    mask0[static_cast<std::size_t>(v)] =
+        (bis.where[static_cast<std::size_t>(v)] == 0);
+    mask1[static_cast<std::size_t>(v)] =
+        (bis.where[static_cast<std::size_t>(v)] == 1);
+  }
+  std::vector<vid_t> map0, map1;
+  const CsrGraph g0 = induced_subgraph(g, mask0, &map0);
+  const CsrGraph g1 = induced_subgraph(g, mask1, &map1);
+  std::vector<vid_t> ids0(static_cast<std::size_t>(g0.num_vertices()));
+  std::vector<vid_t> ids1(static_cast<std::size_t>(g1.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (map0[static_cast<std::size_t>(v)] != kInvalidVid) {
+      ids0[static_cast<std::size_t>(map0[static_cast<std::size_t>(v)])] =
+          ids[static_cast<std::size_t>(v)];
+    }
+    if (map1[static_cast<std::size_t>(v)] != kInvalidVid) {
+      ids1[static_cast<std::size_t>(map1[static_cast<std::size_t>(v)])] =
+          ids[static_cast<std::size_t>(v)];
+    }
+  }
+  spectral_rec(g0, ids0, k0, first_part, opts, where);
+  spectral_rec(g1, ids1, k - k0, first_part + k0, opts, where);
+}
+
+}  // namespace
+
+Partition spectral_partition(const CsrGraph& g, part_t k,
+                             const SpectralOptions& opts) {
+  Partition p;
+  p.k = k;
+  p.where.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<vid_t> ids(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(ids.begin(), ids.end(), 0);
+  spectral_rec(g, ids, k, 0, opts, p.where);
+  return p;
+}
+
+}  // namespace gp

@@ -1,0 +1,36 @@
+// Spectral bisection — the second pre-multilevel family the paper's
+// background contrasts against ("towards a fast implementation of
+// spectral nested dissection", ref [5]).  The bisection sign pattern of
+// the Laplacian's Fiedler vector (second-smallest eigenvector) splits
+// the graph; the vector is computed by deflated power iteration on a
+// spectrally shifted Laplacian — no external linear algebra needed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/csr_graph.hpp"
+#include "core/partition.hpp"
+
+namespace gp {
+
+struct SpectralOptions {
+  int power_iterations = 300;
+  std::uint64_t seed = 1;
+};
+
+/// Approximates the Fiedler vector of g's Laplacian.  Returned vector is
+/// normalized and orthogonal to the constant vector.
+[[nodiscard]] std::vector<double> fiedler_vector(
+    const CsrGraph& g, const SpectralOptions& opts = SpectralOptions{});
+
+/// 2-way spectral partition: split at the weighted median of the Fiedler
+/// vector (balanced halves by vertex weight).
+[[nodiscard]] Partition spectral_bisection(
+    const CsrGraph& g, const SpectralOptions& opts = SpectralOptions{});
+
+/// k-way by recursive spectral bisection.
+[[nodiscard]] Partition spectral_partition(
+    const CsrGraph& g, part_t k,
+    const SpectralOptions& opts = SpectralOptions{});
+
+}  // namespace gp

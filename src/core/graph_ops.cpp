@@ -1,0 +1,129 @@
+#include "core/graph_ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gp {
+
+vid_t count_components(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<vid_t> stack;
+  vid_t comps = 0;
+  for (vid_t s = 0; s < n; ++s) {
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    ++comps;
+    seen[static_cast<std::size_t>(s)] = 1;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const vid_t v = stack.back();
+      stack.pop_back();
+      for (const vid_t u : g.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+bool is_connected(const CsrGraph& g) {
+  return g.num_vertices() == 0 || count_components(g) == 1;
+}
+
+CsrGraph permute(const CsrGraph& g, const std::vector<vid_t>& perm) {
+  const vid_t n = g.num_vertices();
+  assert(perm.size() == static_cast<std::size_t>(n));
+  std::vector<vid_t> inv(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] = v;
+
+  std::vector<eid_t> adjp(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t nv = 0; nv < n; ++nv) {
+    adjp[static_cast<std::size_t>(nv) + 1] =
+        adjp[static_cast<std::size_t>(nv)] +
+        g.degree(inv[static_cast<std::size_t>(nv)]);
+  }
+  std::vector<vid_t> adjncy(static_cast<std::size_t>(g.num_arcs()));
+  std::vector<wgt_t> adjwgt(static_cast<std::size_t>(g.num_arcs()));
+  std::vector<wgt_t> vwgt(static_cast<std::size_t>(n));
+  for (vid_t nv = 0; nv < n; ++nv) {
+    const vid_t ov = inv[static_cast<std::size_t>(nv)];
+    vwgt[static_cast<std::size_t>(nv)] = g.vertex_weight(ov);
+    const auto nbrs = g.neighbors(ov);
+    const auto wts = g.neighbor_weights(ov);
+    eid_t out = adjp[static_cast<std::size_t>(nv)];
+    // Keep adjacency sorted by new id for determinism.
+    std::vector<std::pair<vid_t, wgt_t>> tmp;
+    tmp.reserve(nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      tmp.emplace_back(perm[static_cast<std::size_t>(nbrs[i])], wts[i]);
+    }
+    std::sort(tmp.begin(), tmp.end());
+    for (const auto& [u, w] : tmp) {
+      adjncy[static_cast<std::size_t>(out)] = u;
+      adjwgt[static_cast<std::size_t>(out)] = w;
+      ++out;
+    }
+  }
+  return CsrGraph(std::move(adjp), std::move(adjncy), std::move(adjwgt),
+                  std::move(vwgt));
+}
+
+CsrGraph induced_subgraph(const CsrGraph& g, const std::vector<char>& mask,
+                          std::vector<vid_t>* old_to_new) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> map(static_cast<std::size_t>(n), kInvalidVid);
+  vid_t m = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (mask[static_cast<std::size_t>(v)]) map[static_cast<std::size_t>(v)] = m++;
+  }
+  std::vector<eid_t> adjp(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<vid_t> adjncy;
+  std::vector<wgt_t> adjwgt;
+  std::vector<wgt_t> vwgt(static_cast<std::size_t>(m));
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t nv = map[static_cast<std::size_t>(v)];
+    if (nv == kInvalidVid) continue;
+    vwgt[static_cast<std::size_t>(nv)] = g.vertex_weight(v);
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.neighbor_weights(v);
+    eid_t deg = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t nu = map[static_cast<std::size_t>(nbrs[i])];
+      if (nu == kInvalidVid) continue;
+      adjncy.push_back(nu);
+      adjwgt.push_back(wts[i]);
+      ++deg;
+    }
+    adjp[static_cast<std::size_t>(nv) + 1] =
+        adjp[static_cast<std::size_t>(nv)] + deg;
+  }
+  if (old_to_new) *old_to_new = std::move(map);
+  return CsrGraph(std::move(adjp), std::move(adjncy), std::move(adjwgt),
+                  std::move(vwgt));
+}
+
+CsrGraph extract_part(const CsrGraph& g, const Partition& p, part_t part,
+                      std::vector<vid_t>* old_to_new) {
+  std::vector<char> mask(p.where.size());
+  for (std::size_t v = 0; v < p.where.size(); ++v) mask[v] = (p.where[v] == part);
+  return induced_subgraph(g, mask, old_to_new);
+}
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  DegreeStats s;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return s;
+  s.min_degree = g.degree(0);
+  for (vid_t v = 0; v < n; ++v) {
+    const eid_t d = g.degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+  }
+  s.avg_degree = static_cast<double>(g.num_arcs()) / static_cast<double>(n);
+  return s;
+}
+
+}  // namespace gp

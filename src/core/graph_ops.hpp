@@ -1,0 +1,44 @@
+// Assorted whole-graph operations: connectivity, permutation, subgraph
+// extraction, degree statistics.  Used by generators, tests, and the
+// initial-partitioning codes.
+#pragma once
+
+#include <vector>
+
+#include "core/csr_graph.hpp"
+#include "core/partition.hpp"
+#include "util/types.hpp"
+
+namespace gp {
+
+/// Number of connected components.
+[[nodiscard]] vid_t count_components(const CsrGraph& g);
+
+/// True iff g is connected (empty graph counts as connected).
+[[nodiscard]] bool is_connected(const CsrGraph& g);
+
+/// Renumbers vertices: new id of v is perm[v].  perm must be a bijection.
+[[nodiscard]] CsrGraph permute(const CsrGraph& g,
+                               const std::vector<vid_t>& perm);
+
+/// Extracts the subgraph induced by the vertices v with mask[v] != 0.
+/// `old_to_new` (optional out) receives the id mapping (kInvalidVid for
+/// excluded vertices).  Arcs leaving the mask are dropped.
+[[nodiscard]] CsrGraph induced_subgraph(const CsrGraph& g,
+                                        const std::vector<char>& mask,
+                                        std::vector<vid_t>* old_to_new);
+
+/// Extracts the subgraph of one partition part.
+[[nodiscard]] CsrGraph extract_part(const CsrGraph& g, const Partition& p,
+                                    part_t part,
+                                    std::vector<vid_t>* old_to_new);
+
+struct DegreeStats {
+  eid_t  min_degree = 0;
+  eid_t  max_degree = 0;
+  double avg_degree = 0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const CsrGraph& g);
+
+}  // namespace gp

@@ -1,0 +1,151 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace gp {
+
+wgt_t edge_cut(const CsrGraph& g, const Partition& p) {
+  wgt_t cut2 = 0;  // each cut edge counted twice (once per arc)
+  const vid_t n = g.num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.neighbor_weights(v);
+    const part_t pv = p.where[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (p.where[static_cast<std::size_t>(nbrs[i])] != pv) cut2 += wts[i];
+    }
+  }
+  return cut2 / 2;
+}
+
+std::vector<wgt_t> partition_weights(const CsrGraph& g, const Partition& p) {
+  std::vector<wgt_t> w(static_cast<std::size_t>(p.k), 0);
+  const vid_t n = g.num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    w[static_cast<std::size_t>(p.where[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight(v);
+  }
+  return w;
+}
+
+double partition_balance(const CsrGraph& g, const Partition& p) {
+  const auto w = partition_weights(g, p);
+  const wgt_t total = g.total_vertex_weight();
+  if (p.k <= 0 || total == 0) return 1.0;
+  const double ideal = static_cast<double>(total) / static_cast<double>(p.k);
+  wgt_t mx = 0;
+  for (const auto& x : w) mx = std::max(mx, x);
+  return static_cast<double>(mx) / ideal;
+}
+
+wgt_t communication_volume(const CsrGraph& g, const Partition& p) {
+  wgt_t vol = 0;
+  const vid_t n = g.num_vertices();
+  std::unordered_set<part_t> ext;
+  for (vid_t v = 0; v < n; ++v) {
+    ext.clear();
+    const part_t pv = p.where[static_cast<std::size_t>(v)];
+    for (const vid_t u : g.neighbors(v)) {
+      const part_t pu = p.where[static_cast<std::size_t>(u)];
+      if (pu != pv) ext.insert(pu);
+    }
+    vol += static_cast<wgt_t>(ext.size());
+  }
+  return vol;
+}
+
+vid_t boundary_size(const CsrGraph& g, const Partition& p) {
+  vid_t cnt = 0;
+  const vid_t n = g.num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    const part_t pv = p.where[static_cast<std::size_t>(v)];
+    for (const vid_t u : g.neighbors(v)) {
+      if (p.where[static_cast<std::size_t>(u)] != pv) {
+        ++cnt;
+        break;
+      }
+    }
+  }
+  return cnt;
+}
+
+std::string validate_partition(const CsrGraph& g, const Partition& p) {
+  std::ostringstream err;
+  if (p.k <= 0) return "k <= 0";
+  if (p.where.size() != static_cast<std::size_t>(g.num_vertices())) {
+    err << "where size " << p.where.size() << " != n = " << g.num_vertices();
+    return err.str();
+  }
+  for (std::size_t v = 0; v < p.where.size(); ++v) {
+    if (p.where[v] < 0 || p.where[v] >= p.k) {
+      err << "where[" << v << "] = " << p.where[v] << " out of [0," << p.k
+          << ")";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+int repair_empty_parts(const CsrGraph& g, Partition& p) {
+  auto pw = partition_weights(g, p);
+  std::vector<vid_t> pcount(static_cast<std::size_t>(p.k), 0);
+  for (const part_t q : p.where) ++pcount[static_cast<std::size_t>(q)];
+
+  int repairs = 0;
+  for (part_t empty = 0; empty < p.k; ++empty) {
+    if (pcount[static_cast<std::size_t>(empty)] > 0) continue;
+    // Donor: the part with the most vertices (must have >= 2 to donate).
+    part_t donor = kInvalidPart;
+    for (part_t q = 0; q < p.k; ++q) {
+      if (pcount[static_cast<std::size_t>(q)] < 2) continue;
+      if (donor == kInvalidPart ||
+          pw[static_cast<std::size_t>(q)] > pw[static_cast<std::size_t>(donor)]) {
+        donor = q;
+      }
+    }
+    if (donor == kInvalidPart) break;  // fewer vertices than parts overall
+    // Cheapest vertex to exile: least internal arc weight within donor.
+    vid_t best_v = kInvalidVid;
+    wgt_t best_internal = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (p.where[static_cast<std::size_t>(v)] != donor) continue;
+      wgt_t internal = 0;
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.neighbor_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (p.where[static_cast<std::size_t>(nbrs[i])] == donor) {
+          internal += wts[i];
+        }
+      }
+      if (best_v == kInvalidVid || internal < best_internal) {
+        best_v = v;
+        best_internal = internal;
+      }
+    }
+    p.where[static_cast<std::size_t>(best_v)] = empty;
+    pw[static_cast<std::size_t>(donor)] -= g.vertex_weight(best_v);
+    pw[static_cast<std::size_t>(empty)] += g.vertex_weight(best_v);
+    --pcount[static_cast<std::size_t>(donor)];
+    ++pcount[static_cast<std::size_t>(empty)];
+    ++repairs;
+  }
+  return repairs;
+}
+
+wgt_t max_part_weight(wgt_t total_weight, part_t k, double eps) {
+  const double ideal =
+      static_cast<double>(total_weight) / static_cast<double>(k);
+  return static_cast<wgt_t>(std::ceil(ideal * (1.0 + eps)));
+}
+
+wgt_t min_part_weight(wgt_t total_weight, part_t k, double eps) {
+  const double ideal =
+      static_cast<double>(total_weight) / static_cast<double>(k);
+  return std::max<wgt_t>(
+      1, static_cast<wgt_t>(std::floor(ideal * (1.0 - eps))));
+}
+
+}  // namespace gp

@@ -1,0 +1,64 @@
+// Partition representation and quality metrics.
+//
+// A partition of graph G into k parts is a vector `where` of length n with
+// where[v] in [0, k).  The metrics here are the ones the paper reports:
+// edge cut (Table III is edge-cut ratio vs Metis) and balance (the paper
+// fixes the imbalance tolerance at 3%).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace gp {
+
+struct Partition {
+  part_t              k = 0;
+  std::vector<part_t> where;  ///< partition id per vertex
+
+  [[nodiscard]] bool empty() const { return where.empty(); }
+};
+
+/// Sum of weights of edges whose endpoints lie in different parts.
+[[nodiscard]] wgt_t edge_cut(const CsrGraph& g, const Partition& p);
+
+/// Weight of each part.
+[[nodiscard]] std::vector<wgt_t> partition_weights(const CsrGraph& g,
+                                                   const Partition& p);
+
+/// max part weight / ideal part weight.  1.0 = perfect.  The balance
+/// constraint used throughout the library is `balance <= 1 + eps` with
+/// eps = 0.03 as in the paper.
+[[nodiscard]] double partition_balance(const CsrGraph& g, const Partition& p);
+
+/// Total communication volume (sum over vertices of #distinct foreign parts among
+/// neighbours) — an auxiliary quality metric used by tests and examples.
+[[nodiscard]] wgt_t communication_volume(const CsrGraph& g,
+                                         const Partition& p);
+
+/// Number of boundary vertices (vertices with at least one neighbour in a
+/// different part).
+[[nodiscard]] vid_t boundary_size(const CsrGraph& g, const Partition& p);
+
+/// Structural validation: size, k, range.  Empty string on success.
+[[nodiscard]] std::string validate_partition(const CsrGraph& g,
+                                             const Partition& p);
+
+/// Repairs empty parts in place: each empty part receives a vertex from
+/// the heaviest part (the one with the least internal connectivity, so
+/// the cut damage is minimal).  Needed by partitioners whose construction
+/// can strand a part on pathological inputs (power-law hubs whose vertex
+/// weight exceeds the per-part budget).  Returns the number of repairs.
+int repair_empty_parts(const CsrGraph& g, Partition& p);
+
+/// Maximum allowed part weight for tolerance eps (paper: eps = 0.03).
+[[nodiscard]] wgt_t max_part_weight(wgt_t total_weight, part_t k, double eps);
+
+/// Minimum allowed part weight (used by refinement to avoid underweighting
+/// the source part, as the paper's destination-selection rule requires).
+/// Never below 1: a refinement move may not drain a part empty.
+[[nodiscard]] wgt_t min_part_weight(wgt_t total_weight, part_t k, double eps);
+
+}  // namespace gp

@@ -1,0 +1,33 @@
+#include "core/partitioner.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace gp {
+
+void validate_options(const CsrGraph& g, const PartitionOptions& opts) {
+  if (opts.k < 1) {
+    throw std::invalid_argument("k must be >= 1, got " +
+                                std::to_string(opts.k));
+  }
+  if (g.num_vertices() > 0 && opts.k > g.num_vertices()) {
+    throw std::invalid_argument(
+        "k (" + std::to_string(opts.k) + ") exceeds the number of vertices (" +
+        std::to_string(g.num_vertices()) + ")");
+  }
+  if (!(opts.eps >= 0.0 && opts.eps < 1.0)) {
+    throw std::invalid_argument("eps must be in [0, 1), got " +
+                                std::to_string(opts.eps));
+  }
+  if (opts.threads < 1) {
+    throw std::invalid_argument("threads must be >= 1");
+  }
+  if (opts.ranks < 1) {
+    throw std::invalid_argument("ranks must be >= 1");
+  }
+  if (opts.refine_passes < 0) {
+    throw std::invalid_argument("refine_passes must be >= 0");
+  }
+}
+
+}  // namespace gp

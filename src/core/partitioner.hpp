@@ -1,0 +1,128 @@
+// Common options / result types and the abstract interface shared by the
+// four partitioners (serial Metis-like, mt-metis-like, ParMetis-like, and
+// the paper's GP-metis).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/csr_graph.hpp"
+#include "core/partition.hpp"
+#include "model/machine_model.hpp"
+#include "util/types.hpp"
+
+namespace gp {
+
+struct PartitionOptions {
+  part_t k = 64;       ///< number of parts (paper: 64)
+  double eps = 0.03;   ///< imbalance tolerance (paper: 3%)
+  std::uint64_t seed = 1;
+
+  int threads = 8;     ///< logical CPU threads (mt phases; paper: 8)
+  int ranks = 8;       ///< simulated MPI ranks (par)
+
+  /// Coarsening stops when the graph has at most max(coarsen_to, 30*k)
+  /// vertices (0 = use 30*k, roughly Metis' C*k rule).
+  vid_t coarsen_to = 0;
+  /// ParMetis variant: when > 0, switch to a PT-Scotch-style folding
+  /// stage once the distributed coarse graph has at most this many
+  /// vertices — every rank receives a replica and finishes coarsening +
+  /// initial partitioning independently, the best result winning.  This
+  /// trades one early broadcast for all remaining ghost-exchange rounds
+  /// (the paper's Background II-B describes the technique).  0 = off.
+  vid_t par_fold_threshold = 0;
+  /// Stop coarsening early if a level shrinks by less than this factor.
+  double min_shrink = 0.95;
+  int refine_passes = 8;
+  /// Serial driver only: use the priority-queue k-way refiner (process
+  /// boundary vertices in best-gain order, as real Metis does) instead
+  /// of the scan-order refiner.  Ablation: bench/abl_kway_refine.
+  bool pq_refinement = false;
+
+  // --- GP-metis specific ---
+  /// GPU coarsening hands off to the CPU when the level has fewer
+  /// vertices than this (paper's "threshold level").
+  vid_t gpu_cpu_threshold = 16 * 1024;
+  /// Contraction merge strategy on the device: true = clustered hash
+  /// table (paper's faster variant), false = sort-merge.
+  bool gpu_hash_contraction = true;
+  /// Logical GPU threads for the first level; later levels shrink the
+  /// launch with the graph ("we reduce the number of launched threads in
+  /// the following levels").
+  int gpu_threads = 1 << 14;
+  /// Per-device memory capacity override in bytes (0 = the GTX Titan's
+  /// 6 GB).  Lets tests exercise the out-of-memory path.
+  std::size_t gpu_memory_bytes = 0;
+  /// Paper Section III-D: GP-metis launches kernels "with a variable
+  /// number of threads" that shrinks with the graph (non-persistent data
+  /// ownership), unlike mt-metis' persistent threads.  false = keep the
+  /// initial launch width at every level (the ablation's strawman).
+  bool gpu_shrink_launch = true;
+  /// Number of GPUs for the multi-device partitioner (the paper's future
+  /// work, implemented in src/hybrid/multi_gpu_partitioner).  The
+  /// single-device GP-metis ignores this.
+  int gpu_devices = 2;
+
+  [[nodiscard]] vid_t coarsen_target() const {
+    const vid_t metis_rule = 30 * k;
+    return coarsen_to > 0 ? std::max(coarsen_to, metis_rule) : metis_rule;
+  }
+};
+
+struct PhaseSeconds {
+  double coarsen = 0;
+  double initpart = 0;
+  double uncoarsen = 0;
+  double transfer = 0;  ///< host<->device copies (GP-metis only)
+
+  [[nodiscard]] double total() const {
+    return coarsen + initpart + uncoarsen + transfer;
+  }
+};
+
+/// Per-level coarsening trace (finest to coarsest), for users inspecting
+/// how their graph collapses.
+struct LevelStat {
+  vid_t vertices = 0;
+  eid_t edges = 0;
+};
+
+struct PartitionResult {
+  Partition partition;
+  wgt_t     cut = 0;
+  double    balance = 0;
+  std::vector<LevelStat> levels;  ///< coarsening trace (may be empty)
+
+  double modeled_seconds = 0;  ///< cost-model time on the paper's testbed
+  double wall_seconds = 0;     ///< actual wall time in this container
+
+  PhaseSeconds phases;         ///< modeled, by phase
+  CostLedger   ledger;         ///< full metered breakdown
+  int          coarsen_levels = 0;
+  vid_t        coarsest_vertices = 0;
+};
+
+/// Validates (graph, options) preconditions shared by every partitioner:
+/// k >= 1, k <= number of vertices (unless the graph is empty and k == 1),
+/// eps in [0, 1), threads/ranks >= 1.  Throws std::invalid_argument.
+void validate_options(const CsrGraph& g, const PartitionOptions& opts);
+
+/// Abstract partitioner, for code that compares all four systems.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual PartitionResult run(
+      const CsrGraph& g, const PartitionOptions& opts) const = 0;
+};
+
+/// Factories for the four systems (implemented in their modules).
+std::unique_ptr<Partitioner> make_serial_partitioner();   // "metis"
+std::unique_ptr<Partitioner> make_mt_partitioner();       // "mt-metis"
+std::unique_ptr<Partitioner> make_par_partitioner();      // "parmetis"
+std::unique_ptr<Partitioner> make_hybrid_partitioner();   // "gp-metis"
+std::unique_ptr<Partitioner> make_multi_gpu_partitioner();// "gp-metis-multi"
+
+}  // namespace gp

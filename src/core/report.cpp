@@ -1,0 +1,74 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace gp {
+
+PartitionReport analyze_partition(const CsrGraph& g, const Partition& p) {
+  PartitionReport rep;
+  rep.parts.resize(static_cast<std::size_t>(p.k));
+  for (part_t q = 0; q < p.k; ++q) rep.parts[static_cast<std::size_t>(q)].part = q;
+
+  wgt_t cut2 = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const part_t pv = p.where[static_cast<std::size_t>(v)];
+    auto& row = rep.parts[static_cast<std::size_t>(pv)];
+    row.weight += g.vertex_weight(v);
+    row.vertices += 1;
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.neighbor_weights(v);
+    bool is_boundary = false;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (p.where[static_cast<std::size_t>(nbrs[i])] != pv) {
+        row.external_weight += wts[i];
+        cut2 += wts[i];
+        is_boundary = true;
+      }
+    }
+    if (is_boundary) {
+      row.boundary_vertices += 1;
+      rep.boundary += 1;
+    }
+  }
+  rep.cut = cut2 / 2;
+  rep.balance = partition_balance(g, p);
+  rep.comm_volume = communication_volume(g, p);
+  return rep;
+}
+
+std::string format_report(const PartitionReport& report, bool per_part_rows) {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "edge cut %lld | balance %.4f | comm volume %lld | "
+                "boundary vertices %d\n",
+                static_cast<long long>(report.cut), report.balance,
+                static_cast<long long>(report.comm_volume), report.boundary);
+  os << buf;
+  if (per_part_rows) {
+    std::snprintf(buf, sizeof(buf), "%6s %12s %10s %10s %12s\n", "part",
+                  "weight", "vertices", "boundary", "ext.weight");
+    os << buf;
+    for (const auto& row : report.parts) {
+      std::snprintf(buf, sizeof(buf), "%6d %12lld %10d %10d %12lld\n",
+                    row.part, static_cast<long long>(row.weight),
+                    row.vertices, row.boundary_vertices,
+                    static_cast<long long>(row.external_weight));
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+std::string summarize_result(const PartitionResult& r) {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "cut=%lld balance=%.4f levels=%d modeled=%.4fs wall=%.4fs",
+                static_cast<long long>(r.cut), r.balance, r.coarsen_levels,
+                r.modeled_seconds, r.wall_seconds);
+  return buf;
+}
+
+}  // namespace gp

@@ -1,0 +1,40 @@
+// Human-readable partition quality report — what `gpmetis --report`
+// prints and what examples use to summarize results.
+#pragma once
+
+#include <string>
+
+#include "core/csr_graph.hpp"
+#include "core/partition.hpp"
+#include "core/partitioner.hpp"
+
+namespace gp {
+
+struct PartReportRow {
+  part_t part = 0;
+  wgt_t weight = 0;
+  vid_t vertices = 0;
+  vid_t boundary_vertices = 0;
+  wgt_t external_weight = 0;  ///< arc weight leaving the part
+};
+
+struct PartitionReport {
+  wgt_t cut = 0;
+  double balance = 0;
+  wgt_t comm_volume = 0;
+  vid_t boundary = 0;
+  std::vector<PartReportRow> parts;
+};
+
+/// Computes the full per-part breakdown.
+[[nodiscard]] PartitionReport analyze_partition(const CsrGraph& g,
+                                                const Partition& p);
+
+/// Renders the report as an aligned text table.
+[[nodiscard]] std::string format_report(const PartitionReport& report,
+                                        bool per_part_rows = true);
+
+/// One-line summary of a PartitionResult (for logs).
+[[nodiscard]] std::string summarize_result(const PartitionResult& r);
+
+}  // namespace gp

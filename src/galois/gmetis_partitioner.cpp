@@ -1,0 +1,173 @@
+#include "galois/gmetis_partitioner.hpp"
+
+#include <memory>
+
+#include "gpu/device_atomics.hpp"
+#include "mt/mt_contract.hpp"
+#include "mt/mt_initpart.hpp"
+#include "mt/mt_refine.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace gp {
+
+MatchResult gmetis_match(const CsrGraph& g, ThreadPool& pool,
+                         std::uint64_t seed, GmetisMatchStats* stats) {
+  const vid_t n = g.num_vertices();
+  MatchResult r;
+  r.match.assign(static_cast<std::size_t>(n), kInvalidVid);
+  vid_t* match = r.match.data();
+
+  SpeculativeEngine engine(pool, static_cast<std::size_t>(n));
+  std::atomic<std::uint64_t> work{0};
+
+  const auto spec_stats = engine.for_each(
+      n, [&](SpecTxn& txn, std::int64_t i) -> bool {
+        const auto v = static_cast<vid_t>(i);
+        if (!txn.acquire(v)) return false;
+        if (racy_load(match[v]) != kInvalidVid) return true;  // settled
+        const auto nbrs = g.neighbors(v);
+        const auto wts = g.neighbor_weights(v);
+        work.fetch_add(nbrs.size(), std::memory_order_relaxed);
+        // HEM choice with a seed-rotated scan (random tie-break).
+        Rng rng(seed + static_cast<std::uint64_t>(v));
+        vid_t best = kInvalidVid;
+        wgt_t best_w = -1;
+        const std::size_t rot = nbrs.empty() ? 0 : rng.next_below(nbrs.size());
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          const std::size_t idx = (j + rot) % nbrs.size();
+          const vid_t u = nbrs[idx];
+          if (racy_load(match[u]) != kInvalidVid) continue;
+          if (wts[idx] > best_w) {
+            best_w = wts[idx];
+            best = u;
+          }
+        }
+        if (best == kInvalidVid) {
+          racy_store(match[v], v);  // v is locked: no one else writes it
+          return true;
+        }
+        // Lock the mate before writing anything — abort on conflict.
+        if (!txn.acquire(best)) return false;
+        if (racy_load(match[best]) != kInvalidVid) {
+          // Mate got taken between the scan and the lock: retry would
+          // find another; abort to re-queue.
+          return false;
+        }
+        racy_store(match[v], best);
+        racy_store(match[best], v);
+        return true;
+      });
+
+  // Settle any vertices the operator left unmatched after retries (an
+  // aborted retry whose mate vanished self-matches here).
+  for (vid_t v = 0; v < n; ++v) {
+    if (match[v] == kInvalidVid) match[v] = v;
+    // A one-sided pair can only arise if a retry wrote match[v]=u after
+    // u self-matched in the serial round; repair exactly like the GPU
+    // resolve kernel.
+    const vid_t m = match[v];
+    if (m != v && match[m] != v) match[v] = v;
+  }
+
+  auto [cmap, nc] = build_cmap_serial(r.match);
+  r.cmap = std::move(cmap);
+  r.n_coarse = nc;
+  if (stats) {
+    stats->spec = spec_stats;
+    stats->work_units = work.load();
+  }
+  return r;
+}
+
+PartitionResult GmetisPartitioner::run(const CsrGraph& g,
+                                       const PartitionOptions& opts) const {
+  validate_options(g, opts);
+  WallTimer wall;
+  PartitionResult res;
+  ThreadPool pool(opts.threads);
+  MtContext ctx{&pool, &res.ledger, opts.seed};
+
+  struct Level {
+    CsrGraph graph;
+    std::vector<vid_t> cmap;
+  };
+  std::vector<Level> levels;
+
+  // Cost model for speculative work: every lock acquisition costs a CAS
+  // (~4 work units), every abort wastes the transaction's scan, and each
+  // transaction pays the Galois runtime's fixed overhead (worklist pop,
+  // conflict bookkeeping, commit record — several hundred cycles, ~14
+  // work units; this overhead is what the paper's background blames for
+  // Gmetis being "not as efficient as ParMetis").
+  constexpr std::uint64_t kLockCost = 4;
+  constexpr std::uint64_t kTxnOverhead = 14;
+
+  const vid_t target = opts.coarsen_target();
+  const CsrGraph* cur = &g;
+  int lvl = 0;
+  while (cur->num_vertices() > target) {
+    GmetisMatchStats mst;
+    MatchResult m = gmetis_match(*cur, pool, opts.seed + static_cast<std::uint64_t>(lvl), &mst);
+    if (static_cast<double>(m.n_coarse) >
+        opts.min_shrink * static_cast<double>(cur->num_vertices())) {
+      break;
+    }
+    // Charge: scans + lock CASes + abort-wasted scans, split evenly
+    // across threads (the worklist is balanced).
+    const std::uint64_t spec_work =
+        mst.work_units + mst.spec.lock_acquisitions * kLockCost +
+        (mst.spec.commits + mst.spec.aborts) * kTxnOverhead +
+        mst.spec.aborts * (static_cast<std::uint64_t>(cur->num_arcs()) /
+                           std::max<std::uint64_t>(
+                               1, static_cast<std::uint64_t>(
+                                      cur->num_vertices())));
+    std::vector<std::uint64_t> per_thread(
+        static_cast<std::size_t>(opts.threads),
+        spec_work / static_cast<std::uint64_t>(opts.threads));
+    res.ledger.charge_mt_pass("coarsen/specmatch/L" + std::to_string(lvl),
+                              per_thread);
+    // The cmap construction after speculative matching is serial in
+    // Gmetis (Galois set iterators do not cover it).
+    res.ledger.charge_serial(
+        "coarsen/cmap-serial/L" + std::to_string(lvl),
+        static_cast<std::uint64_t>(cur->num_vertices()) * 2);
+
+    CsrGraph coarse = mt_contract(*cur, m, ctx, lvl);
+    levels.push_back({std::move(coarse), std::move(m.cmap)});
+    cur = &levels.back().graph;
+    ++lvl;
+  }
+  res.coarsen_levels = static_cast<int>(levels.size());
+  res.coarsest_vertices = cur->num_vertices();
+
+  Partition p = mt_initial_partition(*cur, opts.k, opts.eps, ctx);
+  mt_refine(*cur, p, opts.eps, opts.refine_passes, ctx, lvl);
+
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    const CsrGraph& fine = (i == 0) ? g : levels[i - 1].graph;
+    p.where = project_partition(levels[i].cmap, p.where);
+    res.ledger.charge_serial("uncoarsen/project/L" + std::to_string(i),
+                             static_cast<std::uint64_t>(fine.num_vertices()) /
+                                 static_cast<std::uint64_t>(opts.threads));
+    mt_refine(fine, p, opts.eps, opts.refine_passes, ctx,
+              static_cast<int>(i));
+  }
+
+  res.partition = std::move(p);
+  res.cut = edge_cut(g, res.partition);
+  res.balance = partition_balance(g, res.partition);
+  res.modeled_seconds = res.ledger.total_seconds();
+  res.phases.coarsen = res.ledger.seconds_with_prefix("coarsen/");
+  res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");
+  res.phases.uncoarsen = res.ledger.seconds_with_prefix("uncoarsen/");
+  res.wall_seconds = wall.seconds();
+  return res;
+}
+
+std::unique_ptr<Partitioner> make_gmetis_partitioner() {
+  return std::make_unique<GmetisPartitioner>();
+}
+
+}  // namespace gp

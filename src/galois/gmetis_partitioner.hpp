@@ -1,0 +1,46 @@
+// Gmetis-style multicore partitioner (paper Background II-C: "Gmetis
+// extended a version of Metis to a multicore platform using the Galois
+// programming model ... a sequential object-oriented programming model
+// that supports parallel set iterators").
+//
+// The distinctive piece is the coarsening: matching runs as speculative
+// parallel operators over the vertex worklist — each transaction locks a
+// vertex and its chosen mate, aborting on conflict — instead of the
+// lock-free two-round repair GP-metis and mt-metis use.  Contraction,
+// initial partitioning and refinement reuse the shared-memory engine.
+//
+// The paper notes "this approach is found to be not as efficient as
+// ParMetis in terms of performance": the cost model charges each lock
+// acquisition and each aborted transaction's wasted work, which is where
+// that gap comes from.
+#pragma once
+
+#include "core/matching.hpp"
+#include "core/partitioner.hpp"
+#include "galois/speculative.hpp"
+#include "mt/mt_context.hpp"
+
+namespace gp {
+
+struct GmetisMatchStats {
+  SpeculativeEngine::Stats spec;
+  std::uint64_t work_units = 0;
+};
+
+/// Speculative HEM matching: one transaction per vertex, locking the
+/// vertex and its heaviest free neighbour.  Always yields a valid
+/// involution (transactions are atomic — no repair round needed).
+[[nodiscard]] MatchResult gmetis_match(const CsrGraph& g, ThreadPool& pool,
+                                       std::uint64_t seed,
+                                       GmetisMatchStats* stats = nullptr);
+
+class GmetisPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "gmetis"; }
+  [[nodiscard]] PartitionResult run(const CsrGraph& g,
+                                    const PartitionOptions& opts) const override;
+};
+
+std::unique_ptr<Partitioner> make_gmetis_partitioner();
+
+}  // namespace gp

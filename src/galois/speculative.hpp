@@ -1,0 +1,86 @@
+// Minimal optimistic-parallelism runtime in the spirit of the Galois
+// programming model (Kulkarni et al., "Optimistic parallelism requires
+// abstractions") — the substrate under Gmetis, the multicore partitioner
+// the paper's background compares against.
+//
+// The model: a worklist of items is processed by parallel operators.  An
+// operator touches shared state only through its transaction handle,
+// which acquires per-element locks; if a lock is already held, the
+// transaction ABORTS — its undo log rolls back every write — and the item
+// is retried in a later (eventually serial) round.  The commit/abort
+// counts are the runtime's characteristic metric; the ablation bench
+// compares them against the lock-free two-round scheme GP-metis uses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace gp {
+
+/// Per-transaction view: lock acquisition + undo logging.
+class SpecTxn {
+ public:
+  SpecTxn(std::vector<std::atomic<int>>* locks, int owner)
+      : locks_(locks), owner_(owner) {}
+
+  /// Tries to take the lock of element `id`; false = conflict (caller
+  /// must abort).  Re-acquiring an element this txn already holds is ok.
+  [[nodiscard]] bool acquire(vid_t id);
+
+  /// Registers a rollback action for a write this txn performed.
+  void log_undo(std::function<void()> undo) {
+    undo_log_.push_back(std::move(undo));
+  }
+
+  [[nodiscard]] std::size_t locks_held() const { return held_.size(); }
+
+ private:
+  friend class SpeculativeEngine;
+
+  void rollback();
+  void release_all();
+
+  std::vector<std::atomic<int>>* locks_;
+  int owner_;
+  std::vector<vid_t> held_;
+  std::vector<std::function<void()>> undo_log_;
+};
+
+class SpeculativeEngine {
+ public:
+  struct Stats {
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t lock_acquisitions = 0;
+    std::uint64_t retry_round_items = 0;  ///< items settled serially
+
+    [[nodiscard]] double abort_rate() const {
+      const double total = static_cast<double>(commits + aborts);
+      return total > 0 ? static_cast<double>(aborts) / total : 0.0;
+    }
+  };
+
+  /// `num_elements` sizes the lock table (one lock per lockable element,
+  /// typically one per vertex).
+  SpeculativeEngine(ThreadPool& pool, std::size_t num_elements);
+
+  /// Processes items [0, n) with `op(txn, item)`.  The operator returns
+  /// true to commit; returning false — or any failed acquire() — aborts
+  /// and re-queues the item.  Items that keep conflicting are settled in
+  /// a final serial round (which cannot conflict), so the call always
+  /// terminates.  The operator must perform ALL acquires before its
+  /// first write, or log undos for writes preceding a failed acquire.
+  Stats for_each(std::int64_t n,
+                 const std::function<bool(SpecTxn&, std::int64_t)>& op);
+
+ private:
+  ThreadPool& pool_;
+  std::vector<std::atomic<int>> locks_;
+};
+
+}  // namespace gp

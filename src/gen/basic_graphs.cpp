@@ -1,0 +1,96 @@
+// Simple generators: grids, Erdos-Renyi, RMAT.
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+#include "util/rng.hpp"
+
+namespace gp {
+
+CsrGraph grid2d_graph(vid_t width, vid_t height) {
+  GraphBuilder b(width * height);
+  for (vid_t y = 0; y < height; ++y) {
+    for (vid_t x = 0; x < width; ++x) {
+      const vid_t v = y * width + x;
+      if (x + 1 < width) b.add_edge(v, v + 1);
+      if (y + 1 < height) b.add_edge(v, v + width);
+    }
+  }
+  return b.build();
+}
+
+CsrGraph grid3d_graph(vid_t nx, vid_t ny, vid_t nz) {
+  GraphBuilder b(nx * ny * nz);
+  auto id = [&](vid_t x, vid_t y, vid_t z) { return (z * ny + y) * nx + x; };
+  for (vid_t z = 0; z < nz; ++z) {
+    for (vid_t y = 0; y < ny; ++y) {
+      for (vid_t x = 0; x < nx; ++x) {
+        const vid_t v = id(x, y, z);
+        if (x + 1 < nx) b.add_edge(v, id(x + 1, y, z));
+        if (y + 1 < ny) b.add_edge(v, id(x, y + 1, z));
+        if (z + 1 < nz) b.add_edge(v, id(x, y, z + 1));
+      }
+    }
+  }
+  return b.build();
+}
+
+CsrGraph erdos_renyi_graph(vid_t n, eid_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(static_cast<std::size_t>(m) * 2);
+  eid_t added = 0;
+  // Cap attempts so dense requests terminate.
+  eid_t attempts = 0;
+  const eid_t max_attempts = m * 20 + 1000;
+  while (added < m && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    const vid_t lo = std::min(u, v), hi = std::max(u, v);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)) << 32) |
+        static_cast<std::uint32_t>(hi);
+    if (!used.insert(key).second) continue;
+    b.add_edge(lo, hi);
+    ++added;
+  }
+  return b.build();
+}
+
+CsrGraph rmat_graph(vid_t n_log2, eid_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  const vid_t n = vid_t{1} << n_log2;
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(static_cast<std::size_t>(m) * 2);
+  const double a = 0.57, bq = 0.19, c = 0.19;  // d = 0.05
+  eid_t added = 0, attempts = 0;
+  const eid_t max_attempts = m * 20 + 1000;
+  while (added < m && attempts < max_attempts) {
+    ++attempts;
+    vid_t u = 0, v = 0;
+    for (int bit = 0; bit < n_log2; ++bit) {
+      const double r = rng.next_double();
+      int quad;
+      if (r < a) quad = 0;
+      else if (r < a + bq) quad = 1;
+      else if (r < a + bq + c) quad = 2;
+      else quad = 3;
+      u = (u << 1) | (quad >> 1);
+      v = (v << 1) | (quad & 1);
+    }
+    if (u == v) continue;
+    const vid_t lo = std::min(u, v), hi = std::max(u, v);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)) << 32) |
+        static_cast<std::uint32_t>(hi);
+    if (!used.insert(key).second) continue;
+    b.add_edge(lo, hi);
+    ++added;
+  }
+  return b.build();
+}
+
+}  // namespace gp

@@ -1,0 +1,25 @@
+#include "gpu/coalescing.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace gp {
+
+CoalescingStats analyze_coalescing(const std::vector<std::uint64_t>& addresses,
+                                   int warp_size, int transaction_bytes) {
+  CoalescingStats s;
+  const auto tb = static_cast<std::uint64_t>(transaction_bytes);
+  std::set<std::uint64_t> blocks;
+  for (std::size_t i = 0; i < addresses.size();
+       i += static_cast<std::size_t>(warp_size)) {
+    const std::size_t end =
+        std::min(addresses.size(), i + static_cast<std::size_t>(warp_size));
+    blocks.clear();
+    for (std::size_t j = i; j < end; ++j) blocks.insert(addresses[j] / tb);
+    ++s.warps;
+    s.transactions += blocks.size();
+  }
+  return s;
+}
+
+}  // namespace gp

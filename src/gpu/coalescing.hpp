@@ -1,0 +1,33 @@
+// Memory-coalescing analyzer (the paper's Fig. 2).
+//
+// On CUDA hardware, a warp's 32 loads coalesce into one transaction iff
+// they fall within one 128-byte block.  This analyzer replays an access
+// pattern (one address per logical thread) and counts the transactions
+// each warp would issue — used by bench/fig2_coalescing to demonstrate
+// why the partitioner assigns vertex v to thread (v mod stride) the way
+// it does, and by tests to pin the arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gp {
+
+struct CoalescingStats {
+  std::uint64_t warps = 0;
+  std::uint64_t transactions = 0;
+  /// transactions / warps: 1.0 = perfectly coalesced, up to warp_size.
+  [[nodiscard]] double transactions_per_warp() const {
+    return warps ? static_cast<double>(transactions) /
+                       static_cast<double>(warps)
+                 : 0.0;
+  }
+};
+
+/// Analyzes byte addresses, one per logical thread, warp_size threads per
+/// warp, with 128-byte transaction granularity.
+[[nodiscard]] CoalescingStats analyze_coalescing(
+    const std::vector<std::uint64_t>& addresses, int warp_size = 32,
+    int transaction_bytes = 128);
+
+}  // namespace gp

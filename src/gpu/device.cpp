@@ -1,0 +1,96 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/stats.hpp"
+
+namespace gp {
+
+Device::Device() : Device(Config{}) {}
+
+Device::Device(Config config)
+    : config_(config), pool_(std::max(1, config.host_workers)) {}
+
+void Device::on_alloc(std::size_t bytes) {
+  if (allocated_ + bytes > config_.memory_bytes) {
+    throw DeviceOutOfMemory("device allocation of " + std::to_string(bytes) +
+                            " bytes exceeds capacity (" +
+                            std::to_string(allocated_) + " of " +
+                            std::to_string(config_.memory_bytes) +
+                            " bytes in use)");
+  }
+  allocated_ += bytes;
+  peak_ = std::max(peak_, allocated_);
+}
+
+void Device::on_free(std::size_t bytes) noexcept {
+  allocated_ -= std::min(allocated_, bytes);
+}
+
+void Device::meter_h2d(std::size_t bytes, const std::string& label) {
+  h2d_bytes_ += bytes;
+  if (ledger_) ledger_->charge_transfer("transfer/h2d/" + label, bytes);
+}
+
+void Device::meter_d2h(std::size_t bytes, const std::string& label) {
+  d2h_bytes_ += bytes;
+  if (ledger_) ledger_->charge_transfer("transfer/d2h/" + label, bytes);
+}
+
+void Device::launch(const std::string& label, std::int64_t n_threads,
+                    const std::function<std::uint64_t(std::int64_t)>& body) {
+  ++kernels_;
+  if (n_threads <= 0) {
+    if (ledger_) ledger_->charge_gpu_kernel("kernel/" + label, 0, 1.0);
+    return;
+  }
+  const int ws = config_.warp_size;
+  const auto n_warps =
+      static_cast<std::size_t>((n_threads + ws - 1) / ws);
+  std::vector<std::uint64_t> warp_work(n_warps, 0);
+
+  pool_.parallel_for_blocked(
+      n_threads, [&](int, std::int64_t begin, std::int64_t end) {
+        // Each worker owns whole warps where possible; warp sums need no
+        // atomics as long as warp boundaries don't straddle workers, but
+        // blocked ranges may split a warp — use a local accumulator and a
+        // relaxed atomic add on the boundary warps.
+        std::int64_t i = begin;
+        while (i < end) {
+          const std::int64_t warp = i / ws;
+          const std::int64_t warp_end = std::min<std::int64_t>((warp + 1) * ws, end);
+          std::uint64_t acc = 0;
+          for (; i < warp_end; ++i) acc += body(i);
+          std::atomic_ref<std::uint64_t> slot(
+              warp_work[static_cast<std::size_t>(warp)]);
+          slot.fetch_add(acc, std::memory_order_relaxed);
+        }
+      });
+
+  if (ledger_) {
+    std::uint64_t total = 0;
+    for (const auto w : warp_work) total += w;
+    // Warp imbalance: max/mean, capped — a single pathological warp
+    // cannot stall the whole device forever (other SMs keep working).
+    double imb = imbalance_factor(warp_work);
+    imb = std::min(imb, 8.0);
+    ledger_->charge_gpu_kernel("kernel/" + label, total, imb);
+  }
+}
+
+void Device::launch_simple(const std::string& label, std::int64_t n_threads,
+                           const std::function<void(std::int64_t)>& body) {
+  launch(label, n_threads, [&](std::int64_t tid) -> std::uint64_t {
+    body(tid);
+    return 1;
+  });
+}
+
+void Device::reset_counters() {
+  h2d_bytes_ = 0;
+  d2h_bytes_ = 0;
+  kernels_ = 0;
+}
+
+}  // namespace gp

@@ -1,0 +1,104 @@
+// Simulated CUDA device (see DESIGN.md §3.1).
+//
+// The paper runs its kernels on a GeForce GTX Titan.  This class provides
+// the same programming model in pure C++ so every GPU code path of
+// GP-metis executes unchanged in this container:
+//
+//   * device memory with explicit H2D/D2H copies (byte-metered; there is
+//     a 6 GB capacity limit like the Titan's),
+//   * kernel launches over a logical thread index space, executed by a
+//     host worker pool so that concurrent logical threads genuinely race
+//     on shared arrays (the lock-free algorithms depend on that),
+//   * per-warp work metering feeding the analytical cost model, which
+//     converts metered work into modeled GTX-Titan seconds.
+//
+// Deliberately NOT simulated: cycle-level SIMT execution.  The paper's
+// contribution is algorithmic (lock-free conflict repair, prefix-sum
+// compaction, buffered refinement); what the model needs from "the GPU"
+// is work volume, warp-level imbalance, and transfer bytes — all metered
+// here exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "model/machine_model.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gp {
+
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  explicit DeviceOutOfMemory(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Device {
+ public:
+  struct Config {
+    int warp_size = 32;
+    /// GTX Titan: 14 SMX. Only used by the cost model narrative.
+    int num_sms = 14;
+    /// Device memory capacity (GTX Titan: 6 GB).
+    std::size_t memory_bytes = std::size_t{6} << 30;
+    /// Host worker threads that execute kernel chunks concurrently.
+    int host_workers = 8;
+  };
+
+  Device();  ///< default (GTX-Titan-like) configuration
+  explicit Device(Config config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Attaches a ledger; all subsequent launches/transfers charge to it.
+  void set_ledger(CostLedger* ledger) { ledger_ = ledger; }
+  [[nodiscard]] CostLedger* ledger() const { return ledger_; }
+
+  // --- memory accounting (called by DeviceBuffer) ---
+  void on_alloc(std::size_t bytes);
+  void on_free(std::size_t bytes) noexcept;
+  [[nodiscard]] std::size_t allocated_bytes() const { return allocated_; }
+  /// High-water mark of device memory usage.
+  [[nodiscard]] std::size_t peak_bytes() const { return peak_; }
+
+  // --- transfer metering (called by DeviceBuffer copy helpers) ---
+  void meter_h2d(std::size_t bytes, const std::string& label);
+  void meter_d2h(std::size_t bytes, const std::string& label);
+  [[nodiscard]] std::uint64_t total_h2d_bytes() const { return h2d_bytes_; }
+  [[nodiscard]] std::uint64_t total_d2h_bytes() const { return d2h_bytes_; }
+
+  /// Launches a kernel over logical threads [0, n_threads).  The body
+  /// returns the work units (arc touches) that logical thread performed;
+  /// work is aggregated per warp and the warp imbalance stretches the
+  /// modeled kernel time.  Bodies run concurrently on the worker pool —
+  /// shared-array writes race exactly as on the real device.
+  void launch(const std::string& label, std::int64_t n_threads,
+              const std::function<std::uint64_t(std::int64_t)>& body);
+
+  /// Convenience launch for bodies with no interesting work metric
+  /// (charged 1 unit per logical thread).
+  void launch_simple(const std::string& label, std::int64_t n_threads,
+                     const std::function<void(std::int64_t)>& body);
+
+  [[nodiscard]] std::uint64_t kernels_launched() const { return kernels_; }
+
+  /// Resets transfer/kernel counters (not allocations).
+  void reset_counters();
+
+ private:
+  Config        config_;
+  ThreadPool    pool_;
+  CostLedger*   ledger_ = nullptr;
+  std::size_t   allocated_ = 0;
+  std::size_t   peak_ = 0;
+  std::uint64_t h2d_bytes_ = 0;
+  std::uint64_t d2h_bytes_ = 0;
+  std::uint64_t kernels_ = 0;
+};
+
+}  // namespace gp

@@ -1,0 +1,116 @@
+// Typed device memory with explicit host<->device copies.
+//
+// Mirrors cudaMalloc/cudaMemcpy discipline: host code moves data in and
+// out through h2d()/d2h() (metered, capacity-checked); kernel bodies
+// access the raw storage through data()/span().  Reading a DeviceBuffer
+// from host code without d2h() is a bug by convention, just as
+// dereferencing a device pointer on the host is in CUDA.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hpp"
+
+namespace gp {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& dev, std::size_t n, std::string label = "buf")
+      : dev_(&dev), label_(std::move(label)) {
+    dev_->on_alloc(n * sizeof(T));
+    storage_.resize(n);
+  }
+
+  ~DeviceBuffer() { release(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept { *this = std::move(o); }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      dev_ = o.dev_;
+      label_ = std::move(o.label_);
+      storage_ = std::move(o.storage_);
+      o.dev_ = nullptr;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+  [[nodiscard]] bool empty() const { return storage_.empty(); }
+
+  /// Device-side access (kernel bodies only, by convention).
+  [[nodiscard]] T* data() { return storage_.data(); }
+  [[nodiscard]] const T* data() const { return storage_.data(); }
+  [[nodiscard]] std::span<T> span() { return {storage_.data(), storage_.size()}; }
+  [[nodiscard]] std::span<const T> span() const {
+    return {storage_.data(), storage_.size()};
+  }
+
+  /// Host -> device copy (metered).
+  void h2d(std::span<const T> host) {
+    assert(host.size() == storage_.size());
+    std::copy(host.begin(), host.end(), storage_.begin());
+    dev_->meter_h2d(host.size_bytes(), label_);
+  }
+
+  /// Device -> host copy (metered).
+  void d2h(std::span<T> host) const {
+    assert(host.size() == storage_.size());
+    std::copy(storage_.begin(), storage_.end(), host.begin());
+    dev_->meter_d2h(host.size() * sizeof(T), label_);
+  }
+
+  /// Device -> host into a fresh vector (metered).
+  [[nodiscard]] std::vector<T> d2h_vector() const {
+    std::vector<T> out(storage_.size());
+    d2h(out);
+    return out;
+  }
+
+  /// Device-side fill (a trivial kernel in CUDA; not a transfer).
+  void fill(const T& value) {
+    std::fill(storage_.begin(), storage_.end(), value);
+  }
+
+  /// Frees the device memory early (like cudaFree).
+  void release() noexcept {
+    if (dev_) {
+      dev_->on_free(storage_.size() * sizeof(T));
+      storage_.clear();
+      storage_.shrink_to_fit();
+      dev_ = nullptr;
+    }
+  }
+
+ private:
+  Device*        dev_ = nullptr;
+  std::string    label_;
+  std::vector<T> storage_;
+};
+
+/// Allocates a device buffer and uploads `host` in one step.
+template <typename T>
+DeviceBuffer<T> to_device(Device& dev, std::span<const T> host,
+                          std::string label) {
+  DeviceBuffer<T> buf(dev, host.size(), std::move(label));
+  buf.h2d(host);
+  return buf;
+}
+
+template <typename T>
+DeviceBuffer<T> to_device(Device& dev, const std::vector<T>& host,
+                          std::string label) {
+  return to_device(dev, std::span<const T>(host.data(), host.size()),
+                   std::move(label));
+}
+
+}  // namespace gp

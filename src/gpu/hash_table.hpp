@@ -1,0 +1,77 @@
+// Per-thread clustered hash table with chaining — the paper's fast merge
+// structure for GPU contraction ("to avoid collisions, chaining is used
+// where each bucket of the hash table stores multiple elements, i.e. a
+// clustered hash table").
+//
+// One table lives in a thread's working set during the contraction kernel;
+// it accumulates (coarse neighbour id -> merged weight) pairs for the pair
+// of vertices being collapsed, then is drained in bucket order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gp {
+
+class ClusteredHashTable {
+ public:
+  /// `buckets` should be ~the expected number of distinct neighbours; the
+  /// chain storage grows on demand.
+  explicit ClusteredHashTable(std::size_t buckets)
+      : heads_(buckets, -1) {}
+
+  /// Adds weight w to key (inserting the key if new).
+  void add(vid_t key, wgt_t w) {
+    const std::size_t b = bucket_of(key);
+    for (int i = heads_[b]; i >= 0; i = nodes_[static_cast<std::size_t>(i)].next) {
+      if (nodes_[static_cast<std::size_t>(i)].key == key) {
+        nodes_[static_cast<std::size_t>(i)].w += w;
+        return;
+      }
+      ++probes_;
+    }
+    nodes_.push_back({key, w, heads_[b]});
+    heads_[b] = static_cast<int>(nodes_.size()) - 1;
+  }
+
+  /// Number of distinct keys currently stored.
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Chain-collision probes since construction/clear (ablation metric).
+  [[nodiscard]] std::uint64_t probes() const { return probes_; }
+
+  /// Invokes fn(key, weight) for every entry (bucket order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& nd : nodes_) fn(nd.key, nd.w);
+  }
+
+  /// Empties the table, keeping the bucket array (cheap between vertices
+  /// only when few entries: clears chains by walking them).
+  void clear() {
+    for (const auto& nd : nodes_) heads_[bucket_of(nd.key)] = -1;
+    nodes_.clear();
+  }
+
+ private:
+  struct Node {
+    vid_t key;
+    wgt_t w;
+    int   next;
+  };
+
+  [[nodiscard]] std::size_t bucket_of(vid_t key) const {
+    // Multiplicative hash; table size need not be a power of two.
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key)) *
+            0x9E3779B9u) %
+           heads_.size();
+  }
+
+  std::vector<int>  heads_;
+  std::vector<Node> nodes_;
+  std::uint64_t     probes_ = 0;
+};
+
+}  // namespace gp

@@ -1,0 +1,90 @@
+// Device-wide prefix sums — stand-in for CUB's DeviceScan, which the
+// paper uses for the cmap construction ("the parallel inclusive-scan from
+// the CUB library") and for the contraction index arrays.
+//
+// Classic three-kernel blocked scan: (1) each block scans its chunk and
+// emits a block total, (2) block totals are scanned, (3) block offsets are
+// added back.  All three launches run on (and are metered by) the Device.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/device_buffer.hpp"
+
+namespace gp {
+
+/// In-place device-wide inclusive scan.  Returns the total (last element).
+template <typename T>
+T device_inclusive_scan(Device& dev, DeviceBuffer<T>& buf,
+                        const std::string& label = "scan") {
+  const auto n = static_cast<std::int64_t>(buf.size());
+  if (n == 0) return T{};
+  T* a = buf.data();
+
+  // Block geometry: enough blocks to occupy the device, chunky enough to
+  // amortize the block-total scan.
+  const std::int64_t block = std::max<std::int64_t>(1024, n / 256);
+  const auto n_blocks = (n + block - 1) / block;
+
+  DeviceBuffer<T> totals(dev, static_cast<std::size_t>(n_blocks),
+                         label + "/totals");
+  T* tot = totals.data();
+
+  dev.launch(label + "/block_scan", n_blocks, [&](std::int64_t b) {
+    const std::int64_t lo = b * block;
+    const std::int64_t hi = std::min<std::int64_t>(lo + block, n);
+    T sum{};
+    for (std::int64_t i = lo; i < hi; ++i) {
+      sum += a[i];
+      a[i] = sum;
+    }
+    tot[b] = sum;
+    return static_cast<std::uint64_t>(hi - lo);
+  });
+
+  dev.launch(label + "/total_scan", 1, [&](std::int64_t) {
+    T sum{};
+    for (std::int64_t b = 0; b < n_blocks; ++b) {
+      sum += tot[b];
+      tot[b] = sum;
+    }
+    return static_cast<std::uint64_t>(n_blocks);
+  });
+
+  dev.launch(label + "/add_offsets", n_blocks, [&](std::int64_t b) {
+    if (b == 0) return std::uint64_t{1};
+    const T off = tot[b - 1];
+    const std::int64_t lo = b * block;
+    const std::int64_t hi = std::min<std::int64_t>(lo + block, n);
+    for (std::int64_t i = lo; i < hi; ++i) a[i] += off;
+    return static_cast<std::uint64_t>(hi - lo);
+  });
+
+  return a[n - 1];
+}
+
+/// In-place device-wide exclusive scan.  Returns the total.
+template <typename T>
+T device_exclusive_scan(Device& dev, DeviceBuffer<T>& buf,
+                        const std::string& label = "xscan") {
+  const auto n = static_cast<std::int64_t>(buf.size());
+  if (n == 0) return T{};
+  const T total = device_inclusive_scan(dev, buf, label);
+  T* a = buf.data();
+  // Shift-right kernel: each logical thread writes one slot from its left
+  // neighbour's inclusive value (reads complete before the dependent
+  // write only within a thread, so stage through a temp buffer).
+  DeviceBuffer<T> tmp(dev, static_cast<std::size_t>(n), label + "/tmp");
+  T* t = tmp.data();
+  dev.launch(label + "/shift_read", n, [&](std::int64_t i) {
+    t[i] = (i == 0) ? T{} : a[i - 1];
+    return std::uint64_t{1};
+  });
+  dev.launch(label + "/shift_write", n, [&](std::int64_t i) {
+    a[i] = t[i];
+    return std::uint64_t{1};
+  });
+  return total;
+}
+
+}  // namespace gp

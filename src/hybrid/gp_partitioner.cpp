@@ -1,0 +1,135 @@
+#include "hybrid/gp_partitioner.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "hybrid/gpu_contract.hpp"
+#include "hybrid/gpu_matching.hpp"
+#include "hybrid/gpu_refine.hpp"
+#include "mt/mt_partitioner.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace gp {
+
+PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
+                             GpPhaseLog* log) {
+  validate_options(g, opts);
+  WallTimer wall;
+  PartitionResult res;
+  Device::Config dev_config;  // GTX-Titan-like simulated device
+  if (opts.gpu_memory_bytes > 0) {
+    dev_config.memory_bytes = opts.gpu_memory_bytes;
+  }
+  Device dev(dev_config);
+  dev.set_ledger(&res.ledger);
+
+  struct GpuLevel {
+    GpuGraph graph;              // coarse graph at this level (device)
+    DeviceBuffer<vid_t> cmap;    // fine->coarse map producing it (device)
+    vid_t fine_n = 0;
+  };
+  std::vector<GpuLevel> gpu_levels;
+
+  // ---- 1. copy the graph to GPU global memory ----
+  GpuGraph g0 = GpuGraph::upload(dev, g, "G0");
+
+  // ---- 2. GPU coarsening until the threshold level ----
+  const vid_t handoff = std::max<vid_t>(opts.gpu_cpu_threshold,
+                                        opts.coarsen_target());
+  const GpuGraph* cur = &g0;
+  int lvl = 0;
+  std::uint64_t total_conflicts = 0;
+  std::int64_t launch_threads = opts.gpu_threads;
+  while (cur->n > handoff) {
+    auto m = gpu_match(dev, *cur, lvl, opts.seed, launch_threads);
+    total_conflicts += m.conflicts;
+    if (static_cast<double>(m.n_coarse) >
+        opts.min_shrink * static_cast<double>(cur->n)) {
+      break;
+    }
+    GpuContractStats cst;
+    GpuGraph coarse =
+        gpu_contract(dev, *cur, m.match, m.cmap, m.n_coarse, lvl,
+                     launch_threads, opts.gpu_hash_contraction, &cst);
+    gpu_levels.push_back(
+        {std::move(coarse), std::move(m.cmap), cur->n});
+    cur = &gpu_levels.back().graph;
+    ++lvl;
+    // The paper reduces the launched threads as the graph shrinks to
+    // avoid underutilized kernels (Section III-D's non-persistent data
+    // ownership; the fixed-width alternative exists for the ablation).
+    if (opts.gpu_shrink_launch) {
+      launch_threads = std::max<std::int64_t>(256, launch_threads / 2);
+    }
+  }
+  const int gpu_lvls = static_cast<int>(gpu_levels.size());
+
+  // ---- 3. transfer the coarse graph to the CPU; finish coarsening +
+  // initial partitioning + first refinements with the mt-metis engine ----
+  const CsrGraph cpu_graph = cur->download();
+  ThreadPool pool(opts.threads);
+  MtContext mt_ctx{&pool, &res.ledger, opts.seed};
+  PartitionOptions cpu_opts = opts;
+  const auto mt_out =
+      mt_multilevel_pipeline(cpu_graph, cpu_opts, mt_ctx, gpu_lvls);
+
+  // ---- 4. transfer the partitioned graph back; GPU uncoarsening ----
+  DeviceBuffer<part_t> where_coarse(
+      dev, static_cast<std::size_t>(cpu_graph.num_vertices()), "where");
+  where_coarse.h2d(mt_out.partition.where);
+
+  for (std::size_t i = gpu_levels.size(); i-- > 0;) {
+    const vid_t fine_n = gpu_levels[i].fine_n;
+    const GpuGraph& fine = (i == 0) ? g0 : gpu_levels[i - 1].graph;
+    DeviceBuffer<part_t> where_fine(
+        dev, static_cast<std::size_t>(fine_n), "where/L" + std::to_string(i));
+    const std::int64_t T = std::min<std::int64_t>(
+        opts.gpu_threads, std::max<std::int64_t>(256, fine_n));
+    gpu_project(dev, gpu_levels[i].cmap, where_coarse, where_fine,
+                static_cast<int>(i), T);
+    auto rst = gpu_refine(dev, fine, where_fine, opts.k, opts.eps,
+                          opts.refine_passes, static_cast<int>(i), T);
+    if (log) log->refine_committed += rst.committed;
+    where_coarse = std::move(where_fine);
+  }
+
+  // ---- 5. final partition back to the host ----
+  res.partition.k = opts.k;
+  res.partition.where = where_coarse.d2h_vector();
+
+  res.cut = edge_cut(g, res.partition);
+  res.balance = partition_balance(g, res.partition);
+  res.modeled_seconds = res.ledger.total_seconds();
+  res.coarsen_levels = gpu_lvls + mt_out.levels;
+  res.coarsest_vertices = mt_out.coarsest_vertices;
+  res.phases.transfer = res.ledger.seconds_with_prefix("transfer/");
+  res.phases.coarsen = res.ledger.seconds_with_prefix("kernel/coarsen/") +
+                       res.ledger.seconds_with_prefix("coarsen/");
+  res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");
+  res.phases.uncoarsen =
+      res.ledger.seconds_with_prefix("kernel/uncoarsen/") +
+      res.ledger.seconds_with_prefix("uncoarsen/");
+  res.wall_seconds = wall.seconds();
+
+  if (log) {
+    log->gpu_coarsen_levels = gpu_lvls;
+    log->cpu_levels = mt_out.levels;
+    log->handoff_vertices = cpu_graph.num_vertices();
+    log->h2d_bytes = dev.total_h2d_bytes();
+    log->d2h_bytes = dev.total_d2h_bytes();
+    log->match_conflicts = total_conflicts;
+  }
+  return res;
+}
+
+PartitionResult GpMetisPartitioner::run(const CsrGraph& g,
+                                        const PartitionOptions& opts) const {
+  return gp_metis_run(g, opts, nullptr);
+}
+
+std::unique_ptr<Partitioner> make_hybrid_partitioner() {
+  return std::make_unique<GpMetisPartitioner>();
+}
+
+}  // namespace gp

@@ -1,0 +1,41 @@
+// GP-metis — the paper's contribution: a multilevel k-way partitioner for
+// a heterogeneous CPU-GPU system (Fig. 1).
+//
+//   GPU:  coarsening levels (lock-free matching, 4-kernel cmap,
+//         prefix-sum contraction) while the graph is large,
+//   CPU:  remaining coarsening + initial partitioning + first refinement
+//         via the mt-metis engine once parallelism runs out,
+//   GPU:  uncoarsening (projection + lock-free buffered refinement)
+//         back to the original graph.
+//
+// Host<->device transfers are explicit and metered; Table II's GP-metis
+// column includes them, and so does this implementation's modeled time.
+#pragma once
+
+#include "core/partitioner.hpp"
+
+namespace gp {
+
+class GpMetisPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "gp-metis"; }
+  [[nodiscard]] PartitionResult run(const CsrGraph& g,
+                                    const PartitionOptions& opts) const override;
+};
+
+/// Extra introspection for benches/tests: per-run phase placement log.
+struct GpPhaseLog {
+  int gpu_coarsen_levels = 0;
+  int cpu_levels = 0;          ///< coarsening levels done on the CPU
+  vid_t handoff_vertices = 0;  ///< graph size at the GPU->CPU switch
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t match_conflicts = 0;
+  std::uint64_t refine_committed = 0;
+};
+
+/// Same as GpMetisPartitioner::run but also exposes the phase log.
+PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
+                             GpPhaseLog* log);
+
+}  // namespace gp

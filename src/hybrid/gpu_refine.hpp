@@ -1,0 +1,38 @@
+// GPU uncoarsening kernels of GP-metis (paper Sections III-C):
+//
+//   projection kernel — coarse partition labels fan out through cmap
+//   refinement        — lock-free: a boundary kernel finds each vertex's
+//                       best destination under the one-direction ordering
+//                       rule and appends a request to the destination
+//                       partition's buffer via an atomically incremented
+//                       counter; an explore kernel (one thread per
+//                       partition) sorts requests by gain and commits the
+//                       moves that keep the balance constraint.
+#pragma once
+
+#include <cstdint>
+
+#include "core/partition.hpp"
+#include "hybrid/gpu_graph.hpp"
+
+namespace gp {
+
+/// where_fine[v] = where_coarse[cmap[v]] on the device.
+void gpu_project(Device& dev, const DeviceBuffer<vid_t>& cmap,
+                 const DeviceBuffer<part_t>& where_coarse,
+                 DeviceBuffer<part_t>& where_fine, int level,
+                 std::int64_t n_threads);
+
+struct GpuRefineStats {
+  std::uint64_t proposed = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t dropped_full_buffer = 0;
+  int passes = 0;
+};
+
+/// In-place lock-free buffered refinement of the device partition.
+GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
+                          DeviceBuffer<part_t>& where, part_t k, double eps,
+                          int max_passes, int level, std::int64_t n_threads);
+
+}  // namespace gp

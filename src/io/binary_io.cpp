@@ -1,0 +1,85 @@
+#include "io/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace gp {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'P', 'M', 'E', 'T', 'I', 'S', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("binary graph: truncated stream");
+  return v;
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in, std::size_t n) {
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) throw std::runtime_error("binary graph: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void write_binary_graph(std::ostream& out, const CsrGraph& g) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<std::int64_t>(out, g.num_vertices());
+  write_pod<std::int64_t>(out, g.num_arcs());
+  write_vec(out, g.adjp());
+  write_vec(out, g.adjncy());
+  write_vec(out, g.adjwgt());
+  write_vec(out, g.vwgt());
+}
+
+void write_binary_graph_file(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_binary_graph(out, g);
+}
+
+CsrGraph read_binary_graph(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("binary graph: bad magic");
+  }
+  const auto n = read_pod<std::int64_t>(in);
+  const auto arcs = read_pod<std::int64_t>(in);
+  if (n < 0 || arcs < 0) throw std::runtime_error("binary graph: bad sizes");
+  auto adjp = read_vec<eid_t>(in, static_cast<std::size_t>(n) + 1);
+  auto adjncy = read_vec<vid_t>(in, static_cast<std::size_t>(arcs));
+  auto adjwgt = read_vec<wgt_t>(in, static_cast<std::size_t>(arcs));
+  auto vwgt = read_vec<wgt_t>(in, static_cast<std::size_t>(n));
+  if (!adjp.empty() && adjp.back() != arcs) {
+    throw std::runtime_error("binary graph: adjp/arc count mismatch");
+  }
+  return CsrGraph(std::move(adjp), std::move(adjncy), std::move(adjwgt),
+                  std::move(vwgt));
+}
+
+CsrGraph read_binary_graph_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_binary_graph(in);
+}
+
+}  // namespace gp

@@ -1,0 +1,30 @@
+// Binary CSR snapshot format — fast save/load for large generated
+// instances (regenerating a 20M-vertex synthetic road network takes far
+// longer than reading its CSR arrays back).
+//
+// Layout (little-endian, fixed-width):
+//   magic   "GPMETIS1"           8 bytes
+//   n       int64
+//   arcs    int64
+//   adjp    (n+1) * int64
+//   adjncy  arcs * int32
+//   adjwgt  arcs * int64
+//   vwgt    n * int64
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/csr_graph.hpp"
+
+namespace gp {
+
+void write_binary_graph(std::ostream& out, const CsrGraph& g);
+void write_binary_graph_file(const std::string& path, const CsrGraph& g);
+
+/// Throws std::runtime_error on bad magic / truncated stream /
+/// inconsistent sizes.
+[[nodiscard]] CsrGraph read_binary_graph(std::istream& in);
+[[nodiscard]] CsrGraph read_binary_graph_file(const std::string& path);
+
+}  // namespace gp

@@ -1,0 +1,23 @@
+// DIMACS-9 shortest-path challenge .gr format (the USA road networks the
+// paper uses are distributed this way):
+//   c <comment>
+//   p sp <n> <m>          (m = number of directed arcs)
+//   a <u> <v> <w>         (1-based directed arc)
+// We fold directed arcs into an undirected weighted graph (duplicate
+// arcs merged by the builder).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/csr_graph.hpp"
+
+namespace gp {
+
+[[nodiscard]] CsrGraph read_dimacs_gr(std::istream& in);
+[[nodiscard]] CsrGraph read_dimacs_gr_file(const std::string& path);
+
+void write_dimacs_gr(std::ostream& out, const CsrGraph& g);
+void write_dimacs_gr_file(const std::string& path, const CsrGraph& g);
+
+}  // namespace gp

@@ -1,0 +1,135 @@
+#include "io/metis_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gp {
+
+namespace {
+
+/// Next non-comment, non-empty line; false at EOF.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i == line.size()) continue;
+    if (line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CsrGraph read_metis_graph(std::istream& in) {
+  std::string line;
+  if (!next_data_line(in, line)) {
+    throw std::runtime_error("metis: missing header");
+  }
+  std::istringstream hdr(line);
+  std::int64_t n = 0, m = 0;
+  int fmt = 0;
+  hdr >> n >> m;
+  if (!hdr || n < 0 || m < 0) throw std::runtime_error("metis: bad header");
+  std::string fmt_str;
+  if (hdr >> fmt_str) fmt = std::stoi(fmt_str);
+  const bool has_ewgt = (fmt % 10) == 1;
+  const bool has_vwgt = (fmt / 10) % 10 == 1;
+
+  GraphBuilder b(static_cast<vid_t>(n));
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (!next_data_line(in, line)) {
+      throw std::runtime_error("metis: unexpected EOF at vertex " +
+                               std::to_string(v + 1));
+    }
+    std::istringstream ls(line);
+    if (has_vwgt) {
+      wgt_t w;
+      if (!(ls >> w) || w <= 0) {
+        throw std::runtime_error("metis: bad vertex weight at vertex " +
+                                 std::to_string(v + 1));
+      }
+      b.set_vertex_weight(static_cast<vid_t>(v), w);
+    }
+    std::int64_t u;
+    while (ls >> u) {
+      if (u < 1 || u > n) {
+        throw std::runtime_error("metis: neighbour out of range at vertex " +
+                                 std::to_string(v + 1));
+      }
+      wgt_t w = 1;
+      if (has_ewgt && !(ls >> w)) {
+        throw std::runtime_error("metis: missing edge weight at vertex " +
+                                 std::to_string(v + 1));
+      }
+      // Each undirected edge appears twice; add it once.
+      if (u - 1 > v) b.add_edge(static_cast<vid_t>(v), static_cast<vid_t>(u - 1), w);
+    }
+  }
+  CsrGraph g = b.build();
+  if (g.num_edges() != m) {
+    throw std::runtime_error("metis: header claims " + std::to_string(m) +
+                             " edges, file has " +
+                             std::to_string(g.num_edges()));
+  }
+  return g;
+}
+
+CsrGraph read_metis_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_metis_graph(in);
+}
+
+void write_metis_graph(std::ostream& out, const CsrGraph& g) {
+  bool has_vwgt = false, has_ewgt = false;
+  for (const auto w : g.vwgt()) has_vwgt |= (w != 1);
+  for (const auto w : g.adjwgt()) has_ewgt |= (w != 1);
+  const int fmt = (has_vwgt ? 10 : 0) + (has_ewgt ? 1 : 0);
+
+  out << g.num_vertices() << ' ' << g.num_edges();
+  if (fmt) out << ' ' << (fmt < 10 ? "00" : "0") << fmt;
+  out << '\n';
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.neighbor_weights(v);
+    bool first = true;
+    if (has_vwgt) {
+      out << g.vertex_weight(v);
+      first = false;
+    }
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!first) out << ' ';
+      out << (nbrs[i] + 1);
+      if (has_ewgt) out << ' ' << wts[i];
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+void write_metis_graph_file(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_metis_graph(out, g);
+}
+
+std::vector<part_t> read_partition_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<part_t> where;
+  part_t p;
+  while (in >> p) where.push_back(p);
+  return where;
+}
+
+void write_partition_file(const std::string& path,
+                          const std::vector<part_t>& where) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  for (const auto p : where) out << p << '\n';
+}
+
+}  // namespace gp

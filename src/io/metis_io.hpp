@@ -1,0 +1,32 @@
+// METIS .graph file format reader/writer.
+//
+// The paper's inputs come from the DIMACS-10 collection, which is
+// distributed in this format:
+//   header:  <n> <m> [fmt [ncon]]     (m = undirected edge count)
+//   line v:  [vwgt] u1 [w1] u2 [w2] ...  (1-based neighbour ids)
+// fmt: 0/blank = no weights, 1 = edge weights, 10 = vertex weights,
+// 11 = both.  Comment lines start with '%'.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/csr_graph.hpp"
+
+namespace gp {
+
+/// Parses a METIS .graph stream.  Throws std::runtime_error on malformed
+/// input (bad header, neighbour out of range, asymmetric list lengths).
+[[nodiscard]] CsrGraph read_metis_graph(std::istream& in);
+[[nodiscard]] CsrGraph read_metis_graph_file(const std::string& path);
+
+/// Writes a METIS .graph stream (fmt chosen from the weights present).
+void write_metis_graph(std::ostream& out, const CsrGraph& g);
+void write_metis_graph_file(const std::string& path, const CsrGraph& g);
+
+/// Reads/writes a partition file (one part id per line, Metis convention).
+[[nodiscard]] std::vector<part_t> read_partition_file(const std::string& path);
+void write_partition_file(const std::string& path,
+                          const std::vector<part_t>& where);
+
+}  // namespace gp

@@ -1,0 +1,29 @@
+// Shared context for the mt-metis-style shared-memory algorithms: the
+// worker pool (T logical threads with static vertex ownership), the cost
+// ledger they charge, and the seed stream.
+#pragma once
+
+#include <cstdint>
+
+#include "model/machine_model.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gp {
+
+struct MtContext {
+  ThreadPool* pool;        ///< T persistent workers (T = options.threads)
+  CostLedger* ledger;      ///< phase costs are charged here (nullable)
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] int threads() const { return pool->size(); }
+
+  void charge_pass(const std::string& label,
+                   const std::vector<std::uint64_t>& per_thread_work) const {
+    if (ledger) ledger->charge_mt_pass(label, per_thread_work);
+  }
+  void charge_serial(const std::string& label, std::uint64_t work) const {
+    if (ledger) ledger->charge_serial(label, work);
+  }
+};
+
+}  // namespace gp

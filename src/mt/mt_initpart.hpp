@@ -1,0 +1,18 @@
+// mt-metis-style parallel initial partitioning: every thread bisects the
+// coarse graph independently (different seeds), the minimum-cut bisection
+// wins, and the thread group splits in half to recurse on the two sides
+// ("half of the threads work on one of the bisections and half of them
+// partition the other bisection recursively").
+#pragma once
+
+#include "core/csr_graph.hpp"
+#include "core/partition.hpp"
+#include "mt/mt_context.hpp"
+
+namespace gp {
+
+/// Parallel best-of-threads recursive bisection into k parts.
+[[nodiscard]] Partition mt_initial_partition(const CsrGraph& g, part_t k,
+                                             double eps, const MtContext& ctx);
+
+}  // namespace gp

@@ -1,0 +1,132 @@
+#include "mt/mt_matching.hpp"
+
+#include <atomic>
+
+#include "gpu/device_atomics.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/rng.hpp"
+
+namespace gp {
+
+MatchResult mt_match(const CsrGraph& g, const MtContext& ctx, int level,
+                     MtMatchStats* stats) {
+  const vid_t n = g.num_vertices();
+  const int nt = ctx.threads();
+  MatchResult r;
+  r.match.assign(static_cast<std::size_t>(n), kInvalidVid);
+  vid_t* match = r.match.data();
+
+  std::vector<std::uint64_t> work(static_cast<std::size_t>(nt), 0);
+  std::vector<std::uint64_t> conflicts(static_cast<std::size_t>(nt), 0);
+
+  // --- Round 1: unsynchronized HEM over owned blocks ---
+  ctx.pool->parallel_for_blocked(
+      n, [&](int t, std::int64_t b, std::int64_t e) {
+        // Per-thread RNG decorrelated by (seed, level, thread).
+        Rng rng(ctx.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(level) * 1000003ULL +
+                static_cast<std::uint64_t>(t));
+        std::uint64_t w = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto v = static_cast<vid_t>(i);
+          if (racy_load(match[v]) != kInvalidVid) continue;
+          const auto nbrs = g.neighbors(v);
+          const auto wts = g.neighbor_weights(v);
+          w += nbrs.size();
+          // HEM with random tie-breaking: scan from a random rotation so
+          // equal-weight graphs degrade to random matching (paper: "if
+          // all the edges have the same weight, a random matching method
+          // is used").
+          vid_t best = kInvalidVid;
+          wgt_t best_w = -1;
+          const std::size_t rot =
+              nbrs.empty() ? 0 : rng.next_below(nbrs.size());
+          for (std::size_t j = 0; j < nbrs.size(); ++j) {
+            const std::size_t idx = (j + rot) % nbrs.size();
+            const vid_t u = nbrs[idx];
+            if (racy_load(match[u]) != kInvalidVid) continue;
+            if (wts[idx] > best_w) {
+              best_w = wts[idx];
+              best = u;
+            }
+          }
+          if (best == kInvalidVid) {
+            racy_store(match[v], v);
+          } else {
+            // Both writes race with other threads — round 2 repairs.
+            racy_store(match[v], best);
+            racy_store(match[best], v);
+          }
+        }
+        work[static_cast<std::size_t>(t)] = w;
+      });
+  ctx.charge_pass("coarsen/match/round1/L" + std::to_string(level), work);
+
+  // --- Round 2: conflict resolution ---
+  std::fill(work.begin(), work.end(), 0);
+  ctx.pool->parallel_for_blocked(
+      n, [&](int t, std::int64_t b, std::int64_t e) {
+        std::uint64_t w = 0, c = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto v = static_cast<vid_t>(i);
+          ++w;
+          const vid_t m = racy_load(match[v]);
+          if (m == kInvalidVid) {
+            racy_store(match[v], v);  // never reached in round 1
+            continue;
+          }
+          if (m == v) continue;
+          if (racy_load(match[m]) != v) {
+            // match(v) = u but match(u) != v: v lost the race and gets
+            // another chance at the next coarsening level.
+            racy_store(match[v], v);
+            ++c;
+          }
+        }
+        work[static_cast<std::size_t>(t)] = w;
+        conflicts[static_cast<std::size_t>(t)] = c;
+      });
+  ctx.charge_pass("coarsen/match/round2/L" + std::to_string(level), work);
+
+  // --- cmap via parallel prefix sum (mt analogue of the paper's 4-kernel
+  // GPU pipeline; tested to agree with build_cmap_serial) ---
+  std::vector<vid_t> pv(static_cast<std::size_t>(n));
+  ctx.pool->parallel_for_blocked(n, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto v = static_cast<vid_t>(i);
+      pv[static_cast<std::size_t>(v)] = (v <= match[v]) ? 1 : 0;
+    }
+  });
+  inclusive_scan_parallel(*ctx.pool, pv);
+  r.n_coarse = n > 0 ? pv[static_cast<std::size_t>(n) - 1] : 0;
+  r.cmap.assign(static_cast<std::size_t>(n), kInvalidVid);
+  vid_t* cmap = r.cmap.data();
+  ctx.pool->parallel_for_blocked(n, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto v = static_cast<vid_t>(i);
+      if (v <= match[v]) cmap[v] = pv[static_cast<std::size_t>(v)] - 1;
+    }
+  });
+  ctx.pool->parallel_for_blocked(n, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const auto v = static_cast<vid_t>(i);
+      if (v > match[v]) cmap[v] = cmap[match[v]];
+    }
+  });
+  ctx.charge_pass("coarsen/cmap/L" + std::to_string(level),
+                  std::vector<std::uint64_t>(
+                      static_cast<std::size_t>(nt),
+                      static_cast<std::uint64_t>(n / std::max(1, nt)) * 3));
+
+  if (stats) {
+    stats->conflicts = 0;
+    for (const auto c : conflicts) stats->conflicts += c;
+    vid_t pairs = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (r.match[static_cast<std::size_t>(v)] > v) ++pairs;
+    }
+    stats->matched_pairs = pairs;
+  }
+  return r;
+}
+
+}  // namespace gp

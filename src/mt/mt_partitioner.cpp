@@ -1,0 +1,100 @@
+#include "mt/mt_partitioner.hpp"
+
+#include <memory>
+
+#include "mt/mt_contract.hpp"
+#include "mt/mt_initpart.hpp"
+#include "mt/mt_matching.hpp"
+#include "mt/mt_refine.hpp"
+#include "util/timer.hpp"
+
+namespace gp {
+
+MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
+                                        const PartitionOptions& opts,
+                                        const MtContext& ctx,
+                                        int level_offset) {
+  struct Level {
+    CsrGraph graph;
+    std::vector<vid_t> cmap;
+  };
+  std::vector<Level> levels;
+
+  const vid_t target = opts.coarsen_target();
+  const CsrGraph* cur = &g;
+  int lvl = level_offset;
+  while (cur->num_vertices() > target) {
+    MatchResult m = mt_match(*cur, ctx, lvl);
+    if (static_cast<double>(m.n_coarse) >
+        opts.min_shrink * static_cast<double>(cur->num_vertices())) {
+      break;
+    }
+    CsrGraph coarse = mt_contract(*cur, m, ctx, lvl);
+    levels.push_back({std::move(coarse), std::move(m.cmap)});
+    cur = &levels.back().graph;
+    ++lvl;
+  }
+
+  MtPipelineResult out;
+  out.levels = static_cast<int>(levels.size());
+  out.coarsest_vertices = cur->num_vertices();
+
+  Partition p = mt_initial_partition(*cur, opts.k, opts.eps, ctx);
+  mt_refine(*cur, p, opts.eps, opts.refine_passes, ctx, lvl);
+
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    const CsrGraph& fine = (i == 0) ? g : levels[i - 1].graph;
+    // Parallel projection.
+    std::vector<part_t> fine_where(
+        static_cast<std::size_t>(fine.num_vertices()));
+    const auto& cmap = levels[i].cmap;
+    ctx.pool->parallel_for_blocked(
+        fine.num_vertices(), [&](int, std::int64_t b, std::int64_t e) {
+          for (std::int64_t v = b; v < e; ++v) {
+            fine_where[static_cast<std::size_t>(v)] =
+                p.where[static_cast<std::size_t>(
+                    cmap[static_cast<std::size_t>(v)])];
+          }
+        });
+    ctx.charge_pass(
+        "uncoarsen/project/L" + std::to_string(level_offset + i),
+        std::vector<std::uint64_t>(
+            static_cast<std::size_t>(ctx.threads()),
+            static_cast<std::uint64_t>(fine.num_vertices()) /
+                static_cast<std::uint64_t>(std::max(1, ctx.threads()))));
+    p.where = std::move(fine_where);
+    mt_refine(fine, p, opts.eps, opts.refine_passes, ctx,
+              static_cast<int>(level_offset + i));
+  }
+  out.partition = std::move(p);
+  return out;
+}
+
+PartitionResult MtMetisPartitioner::run(const CsrGraph& g,
+                                        const PartitionOptions& opts) const {
+  validate_options(g, opts);
+  WallTimer wall;
+  PartitionResult res;
+  ThreadPool pool(opts.threads);
+  MtContext ctx{&pool, &res.ledger, opts.seed};
+
+  auto out = mt_multilevel_pipeline(g, opts, ctx, 0);
+  res.partition = std::move(out.partition);
+  res.coarsen_levels = out.levels;
+  res.coarsest_vertices = out.coarsest_vertices;
+
+  res.cut = edge_cut(g, res.partition);
+  res.balance = partition_balance(g, res.partition);
+  res.modeled_seconds = res.ledger.total_seconds();
+  res.phases.coarsen = res.ledger.seconds_with_prefix("coarsen/");
+  res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");
+  res.phases.uncoarsen = res.ledger.seconds_with_prefix("uncoarsen/");
+  res.wall_seconds = wall.seconds();
+  return res;
+}
+
+std::unique_ptr<Partitioner> make_mt_partitioner() {
+  return std::make_unique<MtMetisPartitioner>();
+}
+
+}  // namespace gp

@@ -1,0 +1,32 @@
+// Shared-memory multilevel k-way partitioner (the paper's mt-metis
+// competitor, and the engine GP-metis borrows for its CPU phases).
+#pragma once
+
+#include "core/partitioner.hpp"
+#include "mt/mt_context.hpp"
+
+namespace gp {
+
+class MtMetisPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "mt-metis"; }
+  [[nodiscard]] PartitionResult run(const CsrGraph& g,
+                                    const PartitionOptions& opts) const override;
+};
+
+/// The multilevel pipeline with externally supplied context — reused by
+/// GP-metis for the CPU stage between the GPU coarsening and GPU
+/// uncoarsening (paper: "the remaining coarsening steps are completed on
+/// the CPU using mt-metis").
+struct MtPipelineResult {
+  Partition partition;
+  int       levels = 0;
+  vid_t     coarsest_vertices = 0;
+};
+
+MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
+                                        const PartitionOptions& opts,
+                                        const MtContext& ctx,
+                                        int level_offset);
+
+}  // namespace gp

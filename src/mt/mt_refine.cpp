@@ -1,0 +1,184 @@
+#include "mt/mt_refine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "gpu/device_atomics.hpp"
+
+namespace gp {
+
+namespace {
+
+struct MoveRequest {
+  vid_t  v;
+  part_t from;
+  part_t to;
+  wgt_t  gain;
+};
+
+}  // namespace
+
+MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
+                        int max_passes, const MtContext& ctx, int level) {
+  MtRefineStats stats;
+  stats.cut_before = edge_cut(g, p);
+  const vid_t n = g.num_vertices();
+  const int nt = ctx.threads();
+  const wgt_t total = g.total_vertex_weight();
+  const wgt_t max_pw = max_part_weight(total, p.k, eps);
+  const wgt_t min_pw = min_part_weight(total, p.k, eps);
+
+  auto pw = partition_weights(g, p);
+  part_t* where = p.where.data();
+  wgt_t* pwd = pw.data();
+
+  // One request buffer per partition (paper: "we allocate a buffer to each
+  // partition where the threads insert their movement requests").
+  std::vector<std::vector<MoveRequest>> buffers(
+      static_cast<std::size_t>(p.k));
+
+  // The pass budget stretches (up to 8x) while the balance constraint is
+  // still violated — the paper's "balance ... is guaranteed by continuing
+  // the refinement" requires not stopping while a part is overweight and
+  // draining.
+  auto max_pw_violated = [&] {
+    for (part_t q = 0; q < p.k; ++q) {
+      if (pwd[static_cast<std::size_t>(q)] > max_pw) return true;
+    }
+    return false;
+  };
+  int idle_passes = 0;
+  for (int pass = 0;
+       pass < max_passes || (pass < 8 * max_passes && max_pw_violated());
+       ++pass) {
+    ++stats.passes;
+    // Direction alternates per pass: even passes allow only moves to a
+    // higher part id, odd passes to a lower id.  This "prevents concurrent
+    // exchanges of two vertices between two neighbor partitions".
+    const bool upward = (pass % 2 == 0);
+
+    for (auto& buf : buffers) buf.clear();
+    std::vector<std::mutex> buf_mutex(static_cast<std::size_t>(p.k));
+
+    // --- propose kernel: threads scan owned vertices ---
+    std::vector<std::uint64_t> work(static_cast<std::size_t>(nt), 0);
+    std::vector<std::uint64_t> proposed(static_cast<std::size_t>(nt), 0);
+    ctx.pool->parallel_for_blocked(
+        n, [&](int t, std::int64_t b, std::int64_t e) {
+          std::uint64_t w = 0, np = 0;
+          std::vector<wgt_t> conn(static_cast<std::size_t>(p.k), 0);
+          std::vector<part_t> parts;
+          for (std::int64_t i = b; i < e; ++i) {
+            const auto v = static_cast<vid_t>(i);
+            const part_t pv = where[v];
+            const auto nbrs = g.neighbors(v);
+            const auto wts = g.neighbor_weights(v);
+            w += nbrs.size() + 1;
+            parts.clear();
+            wgt_t internal = 0;
+            for (std::size_t j = 0; j < nbrs.size(); ++j) {
+              const part_t pu = racy_load(where[nbrs[j]]);
+              if (pu == pv) {
+                internal += wts[j];
+                continue;
+              }
+              if (conn[static_cast<std::size_t>(pu)] == 0) parts.push_back(pu);
+              conn[static_cast<std::size_t>(pu)] += wts[j];
+            }
+            // Overweight sources may evict at any gain (the balancing
+            // companion of the gain rule); balanced sources move only on
+            // strictly positive gain.
+            const bool overweight = racy_load(pwd[pv]) > max_pw;
+            part_t best = kInvalidPart;
+            wgt_t best_conn = overweight
+                                  ? std::numeric_limits<wgt_t>::min()
+                                  : internal;
+            for (const part_t q : parts) {
+              if (upward ? (q <= pv) : (q >= pv)) continue;
+              if (conn[static_cast<std::size_t>(q)] > best_conn) {
+                best_conn = conn[static_cast<std::size_t>(q)];
+                best = q;
+              }
+            }
+            for (const part_t q : parts) conn[static_cast<std::size_t>(q)] = 0;
+            if (best == kInvalidPart) continue;
+            ++np;
+            std::lock_guard<std::mutex> lk(
+                buf_mutex[static_cast<std::size_t>(best)]);
+            buffers[static_cast<std::size_t>(best)].push_back(
+                {v, pv, best, best_conn - internal});
+          }
+          work[static_cast<std::size_t>(t)] = w;
+          proposed[static_cast<std::size_t>(t)] = np;
+        });
+    ctx.charge_pass(
+        "uncoarsen/refine/propose/L" + std::to_string(level) + "/p" +
+            std::to_string(pass),
+        work);
+    for (const auto x : proposed) stats.proposed += x;
+
+    // --- explore kernel: one logical thread per partition ---
+    std::vector<std::uint64_t> commit_work(static_cast<std::size_t>(nt), 0);
+    std::atomic<std::uint64_t> committed{0}, rejected{0};
+    ctx.pool->parallel_for_blocked(
+        p.k, [&](int t, std::int64_t b, std::int64_t e) {
+          std::uint64_t w = 0, nc = 0, nr = 0;
+          for (std::int64_t q = b; q < e; ++q) {
+            auto& buf = buffers[static_cast<std::size_t>(q)];
+            // Sort relocation requests by gain (descending).
+            std::sort(buf.begin(), buf.end(),
+                      [](const MoveRequest& a, const MoveRequest& b) {
+                        return a.gain > b.gain;
+                      });
+            w += buf.size();
+            for (const auto& req : buf) {
+              // Destination bound: this thread owns partition q, so its
+              // weight only grows here — plain check suffices.
+              if (pwd[q] + g.vertex_weight(req.v) > max_pw) {
+                ++nr;
+                continue;
+              }
+              // Source bound: other owners drain the same source
+              // concurrently; reserve with a CAS loop.
+              const wgt_t vw = g.vertex_weight(req.v);
+              std::atomic_ref<wgt_t> src(pwd[req.from]);
+              wgt_t cur = src.load(std::memory_order_relaxed);
+              bool ok = false;
+              while (cur - vw >= min_pw) {
+                if (src.compare_exchange_weak(cur, cur - vw,
+                                              std::memory_order_relaxed)) {
+                  ok = true;
+                  break;
+                }
+              }
+              if (!ok) {
+                ++nr;
+                continue;
+              }
+              atomic_add(pwd[q], vw);
+              racy_store(where[req.v], static_cast<part_t>(q));
+              ++nc;
+            }
+          }
+          commit_work[static_cast<std::size_t>(t)] = w;
+          committed += nc;
+          rejected += nr;
+        });
+    ctx.charge_pass(
+        "uncoarsen/refine/commit/L" + std::to_string(level) + "/p" +
+            std::to_string(pass),
+        commit_work);
+    stats.committed += committed.load();
+    stats.rejected_balance += rejected.load();
+    // Terminate on idleness — but only after BOTH directions have gone
+    // idle back to back: an overweight part may have admissible evictions
+    // in only one of the two alternating directions.
+    idle_passes = (committed.load() == 0) ? idle_passes + 1 : 0;
+    if (idle_passes >= 2) break;
+  }
+  stats.cut_after = edge_cut(g, p);
+  return stats;
+}
+
+}  // namespace gp

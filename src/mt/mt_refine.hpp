@@ -1,0 +1,28 @@
+// mt-metis-style buffered k-way refinement: direction-alternating passes;
+// threads propose moves for their vertices into per-partition request
+// buffers; buffer owners sort by gain and commit under the balance
+// constraint, with atomic part-weight reservations instead of locks.
+#pragma once
+
+#include <cstdint>
+
+#include "core/csr_graph.hpp"
+#include "core/partition.hpp"
+#include "mt/mt_context.hpp"
+
+namespace gp {
+
+struct MtRefineStats {
+  std::uint64_t proposed = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t rejected_balance = 0;
+  int passes = 0;
+  wgt_t cut_before = 0;
+  wgt_t cut_after = 0;
+};
+
+/// In-place buffered refinement.  `level` only labels ledger entries.
+MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
+                        int max_passes, const MtContext& ctx, int level);
+
+}  // namespace gp

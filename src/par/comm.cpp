@@ -1,0 +1,67 @@
+#include "par/comm.hpp"
+
+#include <algorithm>
+
+namespace gp {
+
+SimComm::SimComm(int ranks, ThreadPool& pool, CostLedger* ledger)
+    : ranks_(ranks), pool_(pool), ledger_(ledger),
+      pending_(static_cast<std::size_t>(ranks)) {}
+
+void SimComm::superstep(
+    const std::string& label,
+    const std::function<std::uint64_t(int, Mailbox&)>& fn) {
+  ++steps_;
+  // Deliver last superstep's mail and hand each rank its mailbox.
+  std::vector<std::vector<SimMessage>> inboxes = std::move(pending_);
+  inboxes.resize(static_cast<std::size_t>(ranks_));
+  pending_.assign(static_cast<std::size_t>(ranks_), {});
+
+  std::vector<std::uint64_t> work(static_cast<std::size_t>(ranks_), 0);
+  std::vector<std::uint64_t> msgs(static_cast<std::size_t>(ranks_), 0);
+  std::vector<std::uint64_t> bytes(static_cast<std::size_t>(ranks_), 0);
+  std::vector<std::vector<std::vector<SimMessage>>> all_out(
+      static_cast<std::size_t>(ranks_));
+
+  pool_.parallel_for_blocked(
+      ranks_, [&](int, std::int64_t b, std::int64_t e) {
+        for (std::int64_t r = b; r < e; ++r) {
+          Mailbox mb(static_cast<int>(r), ranks_,
+                     &inboxes[static_cast<std::size_t>(r)]);
+          work[static_cast<std::size_t>(r)] = fn(static_cast<int>(r), mb);
+          for (int dst = 0; dst < ranks_; ++dst) {
+            for (auto& m : mb.outboxes()[static_cast<std::size_t>(dst)]) {
+              msgs[static_cast<std::size_t>(r)] += 1;
+              bytes[static_cast<std::size_t>(r)] += m.bytes.size();
+            }
+          }
+          all_out[static_cast<std::size_t>(r)] = std::move(mb.outboxes());
+        }
+      });
+
+  // Route messages (deterministic order: by sender rank, then send order).
+  for (int src = 0; src < ranks_; ++src) {
+    auto& out = all_out[static_cast<std::size_t>(src)];
+    for (int dst = 0; dst < ranks_; ++dst) {
+      auto& box = out[static_cast<std::size_t>(dst)];
+      for (auto& m : box) {
+        pending_[static_cast<std::size_t>(dst)].push_back(std::move(m));
+      }
+    }
+  }
+
+  if (ledger_) {
+    std::uint64_t max_work = 0, max_msgs = 0, max_bytes = 0;
+    for (int r = 0; r < ranks_; ++r) {
+      max_work = std::max(max_work, work[static_cast<std::size_t>(r)]);
+      max_msgs = std::max(max_msgs, msgs[static_cast<std::size_t>(r)]);
+      max_bytes = std::max(max_bytes, bytes[static_cast<std::size_t>(r)]);
+    }
+    ledger_->charge_serial("compute/" + label, max_work);
+    if (max_msgs > 0) {
+      ledger_->charge_messages("comm/" + label, max_msgs, max_bytes);
+    }
+  }
+}
+
+}  // namespace gp

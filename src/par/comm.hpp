@@ -1,0 +1,123 @@
+// Simulated message-passing layer (the MPI substitute for the
+// ParMetis-like partitioner, DESIGN.md §3).
+//
+// The model is BSP supersteps, which matches ParMetis' structure exactly:
+// the paper stresses that "each processor sends its match requests in one
+// single message to the corresponding processors" per pass.  Within a
+// superstep every rank runs its compute function (concurrently on the
+// worker pool), sending typed messages that become visible to receivers
+// in the NEXT superstep.  The ledger is charged per superstep with
+//   compute: max over ranks of metered work
+//   comm:    alpha * max messages per rank + beta * max bytes per rank.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/machine_model.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gp {
+
+/// A delivered message: sender rank plus a POD byte payload.
+struct SimMessage {
+  int                       from = 0;
+  std::vector<std::uint8_t> bytes;
+
+  /// Reinterprets the payload as a vector of T (POD only).
+  template <typename T>
+  [[nodiscard]] std::vector<T> as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), out.size() * sizeof(T));
+    return out;
+  }
+};
+
+/// Per-rank send/receive interface inside a superstep.
+class Mailbox {
+ public:
+  Mailbox(int rank, int ranks, std::vector<SimMessage>* inbox)
+      : rank_(rank), ranks_(ranks), inbox_(inbox),
+        outboxes_(static_cast<std::size_t>(ranks)) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int ranks() const { return ranks_; }
+
+  /// Messages sent to this rank in the previous superstep.
+  [[nodiscard]] const std::vector<SimMessage>& inbox() const {
+    return *inbox_;
+  }
+
+  /// Sends a POD vector to `dst` (delivered next superstep).
+  template <typename T>
+  void send(int dst, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SimMessage m;
+    m.from = rank_;
+    m.bytes.resize(data.size() * sizeof(T));
+    std::memcpy(m.bytes.data(), data.data(), m.bytes.size());
+    outboxes_[static_cast<std::size_t>(dst)].push_back(std::move(m));
+  }
+
+  /// Internal: outgoing mail collected by the communicator.
+  [[nodiscard]] std::vector<std::vector<SimMessage>>& outboxes() {
+    return outboxes_;
+  }
+
+ private:
+  int rank_, ranks_;
+  std::vector<SimMessage>* inbox_;
+  std::vector<std::vector<SimMessage>> outboxes_;
+};
+
+class SimComm {
+ public:
+  /// `pool` should have >= ranks workers for genuine concurrency.
+  SimComm(int ranks, ThreadPool& pool, CostLedger* ledger);
+
+  [[nodiscard]] int ranks() const { return ranks_; }
+
+  /// Runs one superstep.  `fn(rank, mailbox)` returns the rank's metered
+  /// compute work.  Messages sent become receivable next superstep.
+  void superstep(const std::string& label,
+                 const std::function<std::uint64_t(int, Mailbox&)>& fn);
+
+  /// Collective: every rank contributes a POD vector; after the call
+  /// every rank sees all contributions (indexed by rank).  Metered as an
+  /// all-gather.
+  template <typename T>
+  std::vector<std::vector<T>> allgather(const std::string& label,
+                                        std::vector<std::vector<T>> contrib) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint64_t max_bytes = 0;
+    for (const auto& c : contrib) {
+      max_bytes = std::max<std::uint64_t>(max_bytes, c.size() * sizeof(T));
+    }
+    if (ledger_) {
+      // Ring all-gather: P-1 rounds, each rank forwarding; bytes per rank
+      // = (P-1) * max contribution.
+      ledger_->charge_messages(
+          "comm/allgather/" + label,
+          static_cast<std::uint64_t>(ranks_ - 1),
+          static_cast<std::uint64_t>(ranks_ - 1) * max_bytes);
+    }
+    return contrib;  // shared address space: data is already everywhere
+  }
+
+  /// Number of supersteps executed (tests/ablations).
+  [[nodiscard]] std::uint64_t supersteps() const { return steps_; }
+
+ private:
+  int ranks_;
+  ThreadPool& pool_;
+  CostLedger* ledger_;
+  std::uint64_t steps_ = 0;
+  /// pending_[dst] = messages awaiting delivery at the next superstep.
+  std::vector<std::vector<SimMessage>> pending_;
+};
+
+}  // namespace gp

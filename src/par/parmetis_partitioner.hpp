@@ -1,0 +1,19 @@
+// Distributed-memory multilevel k-way partitioner in the style of
+// ParMetis, running on the simulated message-passing layer (src/par/comm):
+// block-distributed vertices, even/odd-direction match-request passes with
+// one aggregated message per rank pair, all-to-all broadcast before the
+// initial partitioning, and pass-committed refinement.
+#pragma once
+
+#include "core/partitioner.hpp"
+
+namespace gp {
+
+class ParMetisPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "parmetis"; }
+  [[nodiscard]] PartitionResult run(const CsrGraph& g,
+                                    const PartitionOptions& opts) const override;
+};
+
+}  // namespace gp

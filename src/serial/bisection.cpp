@@ -1,0 +1,241 @@
+#include "serial/bisection.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace gp {
+
+namespace {
+
+/// gain of moving v to the other side = external - internal arc weight.
+wgt_t move_gain(const CsrGraph& g, const std::vector<part_t>& side, vid_t v) {
+  const auto nbrs = g.neighbors(v);
+  const auto wts = g.neighbor_weights(v);
+  const part_t sv = side[static_cast<std::size_t>(v)];
+  wgt_t gain = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    gain += (side[static_cast<std::size_t>(nbrs[i])] != sv) ? wts[i] : -wts[i];
+  }
+  return gain;
+}
+
+}  // namespace
+
+wgt_t bisection_cut(const CsrGraph& g, const std::vector<part_t>& side) {
+  wgt_t cut2 = 0;
+  const vid_t n = g.num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (side[static_cast<std::size_t>(nbrs[i])] !=
+          side[static_cast<std::size_t>(v)]) {
+        cut2 += wts[i];
+      }
+    }
+  }
+  return cut2 / 2;
+}
+
+BisectionResult gggp_bisect(const CsrGraph& g, wgt_t target0, Rng& rng,
+                            int trials) {
+  const vid_t n = g.num_vertices();
+  BisectionResult best;
+  if (n == 0) {
+    best.cut = 0;
+    return best;
+  }
+  best.cut = std::numeric_limits<wgt_t>::max();
+
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<part_t> side(static_cast<std::size_t>(n), 1);
+    std::vector<char> in_frontier(static_cast<std::size_t>(n), 0);
+    std::uint64_t work = 0;
+
+    // (gain, vertex) max-heap with lazy stale-entry skipping: we re-push a
+    // vertex whenever its gain improves and skip entries whose gain no
+    // longer matches at pop time.
+    std::priority_queue<std::pair<wgt_t, vid_t>> frontier;
+    std::vector<wgt_t> gain(static_cast<std::size_t>(n), 0);
+
+    const vid_t seed = static_cast<vid_t>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    wgt_t w0 = 0;
+    vid_t grown = 0;
+
+    auto grow = [&](vid_t v) {
+      side[static_cast<std::size_t>(v)] = 0;
+      w0 += g.vertex_weight(v);
+      ++grown;
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.neighbor_weights(v);
+      work += nbrs.size();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vid_t u = nbrs[i];
+        if (side[static_cast<std::size_t>(u)] == 0) continue;
+        // Moving u into the region removes arc {u, region} from the cut
+        // and adds its remaining side-1 arcs: gain = 2*internal - degree_w.
+        gain[static_cast<std::size_t>(u)] += 2 * wts[i];
+        if (!in_frontier[static_cast<std::size_t>(u)]) {
+          // First touch: initialize with -total arc weight of u.
+          wgt_t tot = 0;
+          for (const wgt_t w : g.neighbor_weights(u)) tot += w;
+          gain[static_cast<std::size_t>(u)] =
+              2 * wts[i] - tot;  // overwrite the += above deliberately
+          in_frontier[static_cast<std::size_t>(u)] = 1;
+        }
+        frontier.emplace(gain[static_cast<std::size_t>(u)], u);
+      }
+    };
+
+    grow(seed);
+    while (w0 < target0 && grown < n) {
+      vid_t next = kInvalidVid;
+      while (!frontier.empty()) {
+        const auto [gn, v] = frontier.top();
+        frontier.pop();
+        if (side[static_cast<std::size_t>(v)] == 0) continue;  // already in
+        if (gn != gain[static_cast<std::size_t>(v)]) continue;  // stale
+        next = v;
+        break;
+      }
+      if (next == kInvalidVid) {
+        // Disconnected graph: restart growth from any side-1 vertex.
+        for (vid_t v = 0; v < n; ++v) {
+          if (side[static_cast<std::size_t>(v)] == 1) {
+            next = v;
+            break;
+          }
+        }
+        if (next == kInvalidVid) break;
+      }
+      grow(next);
+    }
+
+    BisectionResult cur;
+    cur.side = std::move(side);
+    cur.cut = bisection_cut(g, cur.side);
+    cur.weight0 = w0;
+    cur.work_units = work + static_cast<std::uint64_t>(g.num_arcs());
+    if (cur.cut < best.cut) best = std::move(cur);
+    else best.work_units += cur.work_units;
+  }
+  return best;
+}
+
+FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
+                            wgt_t min0, wgt_t max0, int max_passes) {
+  const vid_t n = g.num_vertices();
+  FmStats stats;
+  stats.cut_before = bisection_cut(g, side);
+  wgt_t cur_cut = stats.cut_before;
+
+  wgt_t w0 = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (side[static_cast<std::size_t>(v)] == 0) w0 += g.vertex_weight(v);
+  }
+
+  std::vector<wgt_t> gain(static_cast<std::size_t>(n));
+  std::vector<char> moved(static_cast<std::size_t>(n));
+  // Gains are valid only once computed in the current pass; applying a
+  // delta to a stale entry would corrupt the cut accounting.
+  std::vector<int> gain_pass(static_cast<std::size_t>(n), -1);
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++stats.passes;
+    std::fill(moved.begin(), moved.end(), 0);
+
+    std::priority_queue<std::pair<wgt_t, vid_t>> pq;
+    // Seed with boundary vertices.
+    for (vid_t v = 0; v < n; ++v) {
+      const part_t sv = side[static_cast<std::size_t>(v)];
+      bool boundary = false;
+      for (const vid_t u : g.neighbors(v)) {
+        if (side[static_cast<std::size_t>(u)] != sv) {
+          boundary = true;
+          break;
+        }
+      }
+      stats.work_units += 1;
+      if (boundary) {
+        gain[static_cast<std::size_t>(v)] = move_gain(g, side, v);
+        gain_pass[static_cast<std::size_t>(v)] = pass;
+        stats.work_units += static_cast<std::uint64_t>(g.degree(v));
+        pq.emplace(gain[static_cast<std::size_t>(v)], v);
+      }
+    }
+
+    // FM pass: move vertices one at a time (hill-climbing allowed),
+    // remember the best prefix, roll back the rest.
+    std::vector<vid_t> move_seq;
+    wgt_t best_cut = cur_cut;
+    std::size_t best_prefix = 0;
+    wgt_t sim_cut = cur_cut;
+
+    while (!pq.empty()) {
+      const auto [gn, v] = pq.top();
+      pq.pop();
+      if (moved[static_cast<std::size_t>(v)]) continue;
+      if (gn != gain[static_cast<std::size_t>(v)]) continue;  // stale
+      // Balance check for the move.
+      const part_t sv = side[static_cast<std::size_t>(v)];
+      const wgt_t vw = g.vertex_weight(v);
+      const wgt_t new_w0 = (sv == 0) ? w0 - vw : w0 + vw;
+      const wgt_t mid = (min0 + max0) / 2;
+      const bool in_window = (new_w0 >= min0 && new_w0 <= max0);
+      const bool toward_window =
+          std::abs(new_w0 - mid) < std::abs(w0 - mid);
+      if (!in_window && !toward_window) continue;
+      // Stop exploring hopeless tails: bounded negative-gain streak is
+      // enforced by the queue draining naturally; we cap the sequence at n.
+      moved[static_cast<std::size_t>(v)] = 1;
+      side[static_cast<std::size_t>(v)] = 1 - sv;
+      w0 = new_w0;
+      sim_cut -= gn;
+      move_seq.push_back(v);
+      if (sim_cut < best_cut) {
+        best_cut = sim_cut;
+        best_prefix = move_seq.size();
+      }
+      // Update neighbour gains.
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.neighbor_weights(v);
+      stats.work_units += nbrs.size();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vid_t u = nbrs[i];
+        if (moved[static_cast<std::size_t>(u)]) continue;
+        if (gain_pass[static_cast<std::size_t>(u)] == pass) {
+          // v switched sides: if u is now on v's old side its gain rises
+          // by 2*w(u,v); if on v's new side it falls by 2*w(u,v).
+          const wgt_t delta =
+              (side[static_cast<std::size_t>(u)] == sv) ? 2 * wts[i]
+                                                        : -2 * wts[i];
+          gain[static_cast<std::size_t>(u)] += delta;
+        } else {
+          // First time u becomes interesting this pass: full recompute.
+          gain[static_cast<std::size_t>(u)] = move_gain(g, side, u);
+          gain_pass[static_cast<std::size_t>(u)] = pass;
+          stats.work_units += static_cast<std::uint64_t>(g.degree(u));
+        }
+        pq.emplace(gain[static_cast<std::size_t>(u)], u);
+      }
+    }
+
+    // Roll back moves past the best prefix.
+    for (std::size_t i = move_seq.size(); i-- > best_prefix;) {
+      const vid_t v = move_seq[i];
+      const part_t sv = side[static_cast<std::size_t>(v)];
+      side[static_cast<std::size_t>(v)] = 1 - sv;
+      w0 += (sv == 0) ? -g.vertex_weight(v) : g.vertex_weight(v);
+    }
+    const wgt_t new_cut = best_cut;
+    const bool improved = new_cut < cur_cut;
+    cur_cut = new_cut;
+    if (!improved) break;
+  }
+  stats.cut_after = cur_cut;
+  return stats;
+}
+
+}  // namespace gp

@@ -1,0 +1,45 @@
+// Greedy Graph Growing bisection (GGGP) and 2-way FM refinement — the
+// initial-partitioning toolkit of the Metis-style baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "core/csr_graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gp {
+
+struct BisectionResult {
+  std::vector<part_t> side;  ///< 0 or 1 per vertex
+  wgt_t cut = 0;
+  wgt_t weight0 = 0;  ///< total vertex weight on side 0
+  std::uint64_t work_units = 0;
+};
+
+/// Grows side 0 from a random seed in breadth-first fashion, always adding
+/// the frontier vertex with the largest edge-cut decrease, until side 0
+/// holds ~`target0` vertex weight (the paper's "almost half").  Runs
+/// `trials` independent growths and keeps the best cut.
+[[nodiscard]] BisectionResult gggp_bisect(const CsrGraph& g, wgt_t target0,
+                                          Rng& rng, int trials = 4);
+
+struct FmStats {
+  std::uint64_t work_units = 0;
+  int passes = 0;
+  wgt_t cut_before = 0;
+  wgt_t cut_after = 0;
+};
+
+/// Boundary Fiduccia-Mattheyses refinement of a bisection (the "modified
+/// Kernighan-Lin" of Metis): repeated passes of single-vertex moves with
+/// hill-climbing and rollback to the best prefix, under the balance
+/// window [min0, max0] for side-0 weight.
+FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
+                            wgt_t min0, wgt_t max0, int max_passes = 8);
+
+/// Cut of a 2-way partition given as a side vector.
+[[nodiscard]] wgt_t bisection_cut(const CsrGraph& g,
+                                  const std::vector<part_t>& side);
+
+}  // namespace gp

@@ -1,0 +1,131 @@
+#include "serial/hem_matching.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace gp {
+
+MatchResult hem_match_serial(const CsrGraph& g, Rng& rng,
+                             SerialMatchStats* stats) {
+  std::vector<vid_t> order(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates with the library RNG for reproducibility.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  return hem_match_serial_ordered(g, order, stats);
+}
+
+MatchResult hem_match_serial_ordered(const CsrGraph& g,
+                                     const std::vector<vid_t>& order,
+                                     SerialMatchStats* stats) {
+  const vid_t n = g.num_vertices();
+  MatchResult r;
+  r.match.assign(static_cast<std::size_t>(n), kInvalidVid);
+
+  std::uint64_t work = 0;
+  vid_t pairs = 0;
+  for (const vid_t v : order) {
+    if (r.match[static_cast<std::size_t>(v)] != kInvalidVid) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.neighbor_weights(v);
+    work += nbrs.size();
+    vid_t best = kInvalidVid;
+    wgt_t best_w = -1;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      if (r.match[static_cast<std::size_t>(u)] != kInvalidVid) continue;
+      if (wts[i] > best_w) {
+        best_w = wts[i];
+        best = u;
+      }
+    }
+    if (best == kInvalidVid) {
+      r.match[static_cast<std::size_t>(v)] = v;
+    } else {
+      r.match[static_cast<std::size_t>(v)] = best;
+      r.match[static_cast<std::size_t>(best)] = v;
+      ++pairs;
+    }
+  }
+
+  auto [cmap, nc] = build_cmap_serial(r.match);
+  r.cmap = std::move(cmap);
+  r.n_coarse = nc;
+  if (stats) {
+    stats->work_units = work;
+    stats->matched_pairs = pairs;
+  }
+  return r;
+}
+
+MatchResult match_serial_policy(const CsrGraph& g, MatchPolicy policy,
+                                Rng& rng, SerialMatchStats* stats) {
+  if (policy == MatchPolicy::kHeavyEdge) {
+    return hem_match_serial(g, rng, stats);
+  }
+  const vid_t n = g.num_vertices();
+  MatchResult r;
+  r.match.assign(static_cast<std::size_t>(n), kInvalidVid);
+
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  std::uint64_t work = 0;
+  vid_t pairs = 0;
+  for (const vid_t v : order) {
+    if (r.match[static_cast<std::size_t>(v)] != kInvalidVid) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.neighbor_weights(v);
+    work += nbrs.size();
+    vid_t best = kInvalidVid;
+    if (policy == MatchPolicy::kLightEdge) {
+      wgt_t best_w = std::numeric_limits<wgt_t>::max();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vid_t u = nbrs[i];
+        if (r.match[static_cast<std::size_t>(u)] != kInvalidVid) continue;
+        if (wts[i] < best_w) {
+          best_w = wts[i];
+          best = u;
+        }
+      }
+    } else {  // kRandom: uniform among the free neighbours
+      vid_t free_count = 0;
+      for (const vid_t u : nbrs) {
+        if (r.match[static_cast<std::size_t>(u)] == kInvalidVid) ++free_count;
+      }
+      if (free_count > 0) {
+        auto pick = static_cast<vid_t>(
+            rng.next_below(static_cast<std::uint64_t>(free_count)));
+        for (const vid_t u : nbrs) {
+          if (r.match[static_cast<std::size_t>(u)] != kInvalidVid) continue;
+          if (pick-- == 0) {
+            best = u;
+            break;
+          }
+        }
+      }
+    }
+    if (best == kInvalidVid) {
+      r.match[static_cast<std::size_t>(v)] = v;
+    } else {
+      r.match[static_cast<std::size_t>(v)] = best;
+      r.match[static_cast<std::size_t>(best)] = v;
+      ++pairs;
+    }
+  }
+  auto [cmap, nc] = build_cmap_serial(r.match);
+  r.cmap = std::move(cmap);
+  r.n_coarse = nc;
+  if (stats) {
+    stats->work_units = work;
+    stats->matched_pairs = pairs;
+  }
+  return r;
+}
+
+}  // namespace gp

@@ -1,0 +1,43 @@
+// Serial heavy-edge matching (HEM) — the matching policy of Metis, Scotch
+// and Jostle, and the reference the parallel matchers are tested against.
+#pragma once
+
+#include <cstdint>
+
+#include "core/csr_graph.hpp"
+#include "core/matching.hpp"
+#include "util/rng.hpp"
+
+namespace gp {
+
+struct SerialMatchStats {
+  std::uint64_t work_units = 0;  ///< arcs scanned
+  vid_t         matched_pairs = 0;
+};
+
+/// Matching policies discussed in the paper's background section:
+/// HEM (heavy edge — used by Metis/Scotch/Jostle and by this library's
+/// drivers), LEM (light edge), RM (random).
+enum class MatchPolicy { kHeavyEdge, kLightEdge, kRandom };
+
+/// Computes a maximal HEM matching.  Vertices are visited in a random
+/// permutation (seeded); each unmatched vertex takes its heaviest
+/// unmatched neighbour, falling back to self-match when none is free —
+/// this *is* random matching when all edge weights are equal, matching
+/// the paper's "HEM, or RM if all the edges have the same weight".
+[[nodiscard]] MatchResult hem_match_serial(const CsrGraph& g, Rng& rng,
+                                           SerialMatchStats* stats = nullptr);
+
+/// Same policy with an explicit visit order (testing and determinism).
+[[nodiscard]] MatchResult hem_match_serial_ordered(
+    const CsrGraph& g, const std::vector<vid_t>& order,
+    SerialMatchStats* stats = nullptr);
+
+/// Generic policy-selectable serial matching (ablation support: the
+/// paper's background compares HEM against random and light-edge
+/// matching; HEM "exhibits the best results").
+[[nodiscard]] MatchResult match_serial_policy(const CsrGraph& g,
+                                              MatchPolicy policy, Rng& rng,
+                                              SerialMatchStats* stats = nullptr);
+
+}  // namespace gp

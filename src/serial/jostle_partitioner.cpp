@@ -1,0 +1,186 @@
+#include "serial/jostle_partitioner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "core/matching.hpp"
+#include "serial/hem_matching.hpp"
+#include "serial/kway_refine.hpp"
+#include "serial/rb_partition.hpp"
+#include "util/timer.hpp"
+
+namespace gp {
+
+namespace {
+
+/// One combined balance+refine level pass, Jostle style: (a) greedy
+/// refinement that may unbalance, (b) balancing that evicts the cheapest
+/// vertices from overweight parts.  Returns metered work.
+std::uint64_t jostle_refine_level(const CsrGraph& g, Partition& p, double eps,
+                                  int passes) {
+  std::uint64_t work = 0;
+  const wgt_t total = g.total_vertex_weight();
+  const wgt_t max_pw = max_part_weight(total, p.k, eps);
+  auto pw = partition_weights(g, p);
+  std::vector<wgt_t> conn(static_cast<std::size_t>(p.k), 0);
+  std::vector<part_t> parts;
+
+  for (int pass = 0; pass < passes; ++pass) {
+    // --- (a) greedy refinement, balance-blind ---
+    vid_t moves = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      work += static_cast<std::uint64_t>(g.degree(v)) + 1;
+      const part_t pv = p.where[static_cast<std::size_t>(v)];
+      const wgt_t internal = vertex_connectivity(g, p.where, v, conn, parts);
+      part_t best = kInvalidPart;
+      wgt_t best_conn = internal;
+      for (const part_t q : parts) {
+        if (conn[static_cast<std::size_t>(q)] > best_conn) {
+          best_conn = conn[static_cast<std::size_t>(q)];
+          best = q;
+        }
+      }
+      for (const part_t q : parts) conn[static_cast<std::size_t>(q)] = 0;
+      if (best == kInvalidPart) continue;
+      // Accepted even if it unbalances — but never empty the source.
+      const wgt_t vw = g.vertex_weight(v);
+      if (pw[static_cast<std::size_t>(pv)] - vw < 1) continue;
+      pw[static_cast<std::size_t>(pv)] -= vw;
+      pw[static_cast<std::size_t>(best)] += vw;
+      p.where[static_cast<std::size_t>(v)] = best;
+      ++moves;
+    }
+
+    // --- (b) balancing: drain overweight parts by cheapest evictions ---
+    for (part_t q = 0; q < p.k; ++q) {
+      while (pw[static_cast<std::size_t>(q)] > max_pw) {
+        // Cheapest boundary vertex of q: the one whose best external
+        // destination loses the least gain (may be negative).
+        vid_t best_v = kInvalidVid;
+        part_t best_dst = kInvalidPart;
+        wgt_t best_loss = std::numeric_limits<wgt_t>::max();
+        for (vid_t v = 0; v < g.num_vertices(); ++v) {
+          if (p.where[static_cast<std::size_t>(v)] != q) continue;
+          work += static_cast<std::uint64_t>(g.degree(v)) + 1;
+          const wgt_t internal =
+              vertex_connectivity(g, p.where, v, conn, parts);
+          for (const part_t d : parts) {
+            const bool fits = pw[static_cast<std::size_t>(d)] +
+                                  g.vertex_weight(v) <=
+                              max_pw;
+            const wgt_t loss = internal - conn[static_cast<std::size_t>(d)];
+            if (fits && loss < best_loss) {
+              best_loss = loss;
+              best_v = v;
+              best_dst = d;
+            }
+          }
+          for (const part_t d : parts) conn[static_cast<std::size_t>(d)] = 0;
+        }
+        if (best_v == kInvalidVid) break;  // nowhere to evict to
+        const wgt_t vw = g.vertex_weight(best_v);
+        pw[static_cast<std::size_t>(q)] -= vw;
+        pw[static_cast<std::size_t>(best_dst)] += vw;
+        p.where[static_cast<std::size_t>(best_v)] = best_dst;
+      }
+    }
+    if (moves == 0) break;
+  }
+  return work;
+}
+
+}  // namespace
+
+PartitionResult JostlePartitioner::run(const CsrGraph& g,
+                                       const PartitionOptions& opts) const {
+  validate_options(g, opts);
+  WallTimer wall;
+  PartitionResult res;
+  Rng rng(opts.seed);
+
+  struct Level {
+    CsrGraph graph;
+    std::vector<vid_t> cmap;
+  };
+  std::vector<Level> levels;
+
+  // --- coarsen down to exactly k vertices (Jostle's rule) ---
+  const CsrGraph* cur = &g;
+  while (cur->num_vertices() > opts.k) {
+    SerialMatchStats mstats;
+    MatchResult m = hem_match_serial(*cur, rng, &mstats);
+    if (m.n_coarse >= cur->num_vertices()) break;  // fully stalled
+    // Do not overshoot below k: if the matching would collapse past k,
+    // self-match enough pairs (highest-id leaders first) to stop at k.
+    if (m.n_coarse < opts.k) {
+      vid_t excess = opts.k - m.n_coarse;
+      for (vid_t v = cur->num_vertices(); v-- > 0 && excess > 0;) {
+        const vid_t mate = m.match[static_cast<std::size_t>(v)];
+        if (mate != v) {
+          m.match[static_cast<std::size_t>(v)] = v;
+          m.match[static_cast<std::size_t>(mate)] = mate;
+          --excess;
+        }
+      }
+      auto [cmap, nc] = build_cmap_serial(m.match);
+      m.cmap = std::move(cmap);
+      m.n_coarse = nc;
+    }
+    res.ledger.charge_serial(
+        "coarsen/match/L" + std::to_string(levels.size()),
+        mstats.work_units);
+    CsrGraph coarse = contract_serial(*cur, m.match, m.cmap, m.n_coarse);
+    res.ledger.charge_serial(
+        "coarsen/contract/L" + std::to_string(levels.size()),
+        static_cast<std::uint64_t>(cur->num_arcs() + coarse.num_arcs()));
+    levels.push_back({std::move(coarse), std::move(m.cmap)});
+    cur = &levels.back().graph;
+  }
+  res.coarsen_levels = static_cast<int>(levels.size());
+  res.coarsest_vertices = cur->num_vertices();
+
+  // --- trivial initial partitioning (or RB fallback when matching
+  // stalled above k — star-like graphs cannot coarsen to k) ---
+  Partition p;
+  p.k = opts.k;
+  if (cur->num_vertices() == opts.k) {
+    p.where.resize(static_cast<std::size_t>(opts.k));
+    for (part_t i = 0; i < opts.k; ++i) p.where[static_cast<std::size_t>(i)] = i;
+    res.ledger.charge_serial("initpart/trivial",
+                             static_cast<std::uint64_t>(opts.k));
+  } else {
+    RbStats st;
+    p = recursive_bisection(*cur, opts.k, opts.eps, rng, &st);
+    res.ledger.charge_serial("initpart/rb-fallback", st.work_units);
+  }
+
+  // --- uncoarsening with combined balance + refinement ---
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    const CsrGraph& fine = (i == 0) ? g : levels[i - 1].graph;
+    p.where = project_partition(levels[i].cmap, p.where);
+    const auto work =
+        jostle_refine_level(fine, p, opts.eps, opts.refine_passes);
+    res.ledger.charge_serial("uncoarsen/refine/L" + std::to_string(i), work);
+  }
+
+  // Pathological inputs (power-law hubs heavier than a part's budget)
+  // can strand parts; repair before reporting.
+  repair_empty_parts(g, p);
+
+  res.partition = std::move(p);
+  res.cut = edge_cut(g, res.partition);
+  res.balance = partition_balance(g, res.partition);
+  res.modeled_seconds = res.ledger.total_seconds();
+  res.phases.coarsen = res.ledger.seconds_with_prefix("coarsen/");
+  res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");
+  res.phases.uncoarsen = res.ledger.seconds_with_prefix("uncoarsen/");
+  res.wall_seconds = wall.seconds();
+  return res;
+}
+
+std::unique_ptr<Partitioner> make_jostle_partitioner() {
+  return std::make_unique<JostlePartitioner>();
+}
+
+}  // namespace gp

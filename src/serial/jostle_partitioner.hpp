@@ -1,0 +1,30 @@
+// Jostle-style serial multilevel partitioner — the third classic system
+// the paper's background describes (Walshaw & Cross):
+//   * coarsening continues until the graph has exactly k vertices
+//     ("Jostle terminates the matching when the number of vertices in
+//     the coarse graph is equal to the number of required partitions"),
+//   * the initial partitioning is therefore trivial (vertex i = part i),
+//   * uncoarsening uses a combined balancing + refinement scheme: a
+//     greedy step accepts best-gain moves even when they unbalance the
+//     partitions, and a following balancing step repairs the weights by
+//     evicting the cheapest vertices from overweight parts.
+//
+// Not part of the paper's evaluation (it compares against Metis-family
+// systems only) — provided for completeness of the background's system
+// inventory and as a quality cross-check in tests.
+#pragma once
+
+#include "core/partitioner.hpp"
+
+namespace gp {
+
+class JostlePartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "jostle"; }
+  [[nodiscard]] PartitionResult run(const CsrGraph& g,
+                                    const PartitionOptions& opts) const override;
+};
+
+std::unique_ptr<Partitioner> make_jostle_partitioner();
+
+}  // namespace gp

@@ -1,0 +1,172 @@
+#include "serial/kway_refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace gp {
+
+wgt_t vertex_connectivity(const CsrGraph& g, const std::vector<part_t>& where,
+                          vid_t v, std::vector<wgt_t>& conn_scratch,
+                          std::vector<part_t>& conn_parts) {
+  // conn_scratch must be sized k and zeroed between calls for the parts in
+  // conn_parts — we reset only the touched entries to stay O(degree).
+  conn_parts.clear();
+  const auto nbrs = g.neighbors(v);
+  const auto wts = g.neighbor_weights(v);
+  const part_t pv = where[static_cast<std::size_t>(v)];
+  wgt_t internal = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const part_t pu = where[static_cast<std::size_t>(nbrs[i])];
+    if (pu == pv) {
+      internal += wts[i];
+      continue;
+    }
+    if (conn_scratch[static_cast<std::size_t>(pu)] == 0) {
+      conn_parts.push_back(pu);
+    }
+    conn_scratch[static_cast<std::size_t>(pu)] += wts[i];
+  }
+  return internal;
+}
+
+KwayRefineStats kway_refine_serial(const CsrGraph& g, Partition& p,
+                                   double eps, int max_passes) {
+  KwayRefineStats stats;
+  stats.cut_before = edge_cut(g, p);
+  const vid_t n = g.num_vertices();
+  const wgt_t total = g.total_vertex_weight();
+  const wgt_t max_pw = max_part_weight(total, p.k, eps);
+  const wgt_t min_pw = min_part_weight(total, p.k, eps);
+
+  auto pw = partition_weights(g, p);
+  std::vector<wgt_t> conn(static_cast<std::size_t>(p.k), 0);
+  std::vector<part_t> parts;
+  parts.reserve(16);
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++stats.passes;
+    vid_t moves_this_pass = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      stats.work_units += static_cast<std::uint64_t>(g.degree(v)) + 1;
+      const part_t pv = p.where[static_cast<std::size_t>(v)];
+      const wgt_t internal = vertex_connectivity(g, p.where, v, conn, parts);
+      if (parts.empty()) continue;  // not a boundary vertex
+
+      // Pick the best destination among adjacent parts.
+      part_t best = kInvalidPart;
+      wgt_t best_conn = internal;  // require gain > 0 (strict) or tie-break
+      const wgt_t vw = g.vertex_weight(v);
+      for (const part_t q : parts) {
+        const wgt_t cq = conn[static_cast<std::size_t>(q)];
+        const bool fits = pw[static_cast<std::size_t>(q)] + vw <= max_pw &&
+                          pw[static_cast<std::size_t>(pv)] - vw >= min_pw;
+        if (!fits) continue;
+        if (cq > best_conn) {  // strict gain only; ties keep the vertex put
+          best_conn = cq;
+          best = q;
+        }
+      }
+      // Reset scratch for the next vertex.
+      for (const part_t q : parts) conn[static_cast<std::size_t>(q)] = 0;
+
+      if (best == kInvalidPart) continue;
+      pw[static_cast<std::size_t>(pv)] -= vw;
+      pw[static_cast<std::size_t>(best)] += vw;
+      p.where[static_cast<std::size_t>(v)] = best;
+      ++moves_this_pass;
+    }
+    stats.moves += moves_this_pass;
+    if (moves_this_pass == 0) break;
+  }
+  stats.cut_after = edge_cut(g, p);
+  stats.work_units +=
+      2 * static_cast<std::uint64_t>(g.num_arcs());  // the two cut scans
+  return stats;
+}
+
+KwayRefineStats kway_refine_pq(const CsrGraph& g, Partition& p, double eps,
+                               int max_passes) {
+  KwayRefineStats stats;
+  stats.cut_before = edge_cut(g, p);
+  const vid_t n = g.num_vertices();
+  const wgt_t total = g.total_vertex_weight();
+  const wgt_t max_pw = max_part_weight(total, p.k, eps);
+  const wgt_t min_pw = min_part_weight(total, p.k, eps);
+
+  auto pw = partition_weights(g, p);
+  std::vector<wgt_t> conn(static_cast<std::size_t>(p.k), 0);
+  std::vector<part_t> parts;
+  parts.reserve(16);
+
+  // Best admissible move of v given the current state; gain may be
+  // non-positive (callers filter).
+  auto best_move = [&](vid_t v) -> std::pair<part_t, wgt_t> {
+    const part_t pv = p.where[static_cast<std::size_t>(v)];
+    const wgt_t internal = vertex_connectivity(g, p.where, v, conn, parts);
+    const wgt_t vw = g.vertex_weight(v);
+    part_t best = kInvalidPart;
+    wgt_t best_gain = std::numeric_limits<wgt_t>::min();
+    for (const part_t q : parts) {
+      const bool fits = pw[static_cast<std::size_t>(q)] + vw <= max_pw &&
+                        pw[static_cast<std::size_t>(pv)] - vw >= min_pw;
+      if (!fits) continue;
+      const wgt_t gain = conn[static_cast<std::size_t>(q)] - internal;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = q;
+      }
+    }
+    for (const part_t q : parts) conn[static_cast<std::size_t>(q)] = 0;
+    return {best, best_gain};
+  };
+
+  std::vector<char> moved(static_cast<std::size_t>(n));
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++stats.passes;
+    std::fill(moved.begin(), moved.end(), 0);
+    // (gain, vertex) max-heap with lazy revalidation at pop time.
+    std::priority_queue<std::pair<wgt_t, vid_t>> pq;
+    for (vid_t v = 0; v < n; ++v) {
+      stats.work_units += static_cast<std::uint64_t>(g.degree(v)) + 1;
+      const auto [dst, gain] = best_move(v);
+      if (dst != kInvalidPart && gain > 0) pq.emplace(gain, v);
+    }
+    vid_t moves_this_pass = 0;
+    while (!pq.empty()) {
+      const auto [gain_at_push, v] = pq.top();
+      pq.pop();
+      if (moved[static_cast<std::size_t>(v)]) continue;
+      // Revalidate: the neighbourhood may have changed since the push.
+      stats.work_units += static_cast<std::uint64_t>(g.degree(v)) + 1;
+      const auto [dst, gain] = best_move(v);
+      if (dst == kInvalidPart || gain <= 0) continue;
+      if (gain != gain_at_push) {
+        pq.emplace(gain, v);  // stale entry: reinsert with current gain
+        continue;
+      }
+      const part_t pv = p.where[static_cast<std::size_t>(v)];
+      const wgt_t vw = g.vertex_weight(v);
+      pw[static_cast<std::size_t>(pv)] -= vw;
+      pw[static_cast<std::size_t>(dst)] += vw;
+      p.where[static_cast<std::size_t>(v)] = dst;
+      moved[static_cast<std::size_t>(v)] = 1;
+      ++moves_this_pass;
+      // Refresh the neighbours' queue entries.
+      for (const vid_t u : g.neighbors(v)) {
+        if (moved[static_cast<std::size_t>(u)]) continue;
+        stats.work_units += static_cast<std::uint64_t>(g.degree(u)) + 1;
+        const auto [du, gu] = best_move(u);
+        if (du != kInvalidPart && gu > 0) pq.emplace(gu, u);
+      }
+    }
+    stats.moves += moves_this_pass;
+    if (moves_this_pass == 0) break;
+  }
+  stats.cut_after = edge_cut(g, p);
+  stats.work_units += 2 * static_cast<std::uint64_t>(g.num_arcs());
+  return stats;
+}
+
+}  // namespace gp

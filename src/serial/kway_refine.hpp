@@ -1,0 +1,47 @@
+// Greedy k-way refinement (Metis-style): boundary vertices move to the
+// adjacent part with the best gain, subject to the balance constraint.
+// Used by the serial driver's uncoarsening phase and as the quality
+// reference for the parallel refiners.
+#pragma once
+
+#include <cstdint>
+
+#include "core/csr_graph.hpp"
+#include "core/partition.hpp"
+#include "util/types.hpp"
+
+namespace gp {
+
+struct KwayRefineStats {
+  std::uint64_t work_units = 0;
+  int passes = 0;
+  vid_t moves = 0;
+  wgt_t cut_before = 0;
+  wgt_t cut_after = 0;
+};
+
+/// In-place greedy k-way refinement.  Each pass scans boundary vertices;
+/// a vertex moves to the neighbouring part maximising (external(best) -
+/// internal) if that gain is positive (or zero while improving balance),
+/// the destination stays under max_pw, and the source stays above min_pw.
+/// Terminates early when a pass commits no move.
+KwayRefineStats kway_refine_serial(const CsrGraph& g, Partition& p,
+                                   double eps, int max_passes);
+
+/// Priority-queue variant of the greedy k-way refinement: boundary
+/// vertices are processed in descending best-gain order (the ordering
+/// real Metis uses) instead of vertex-id scan order.  Slightly better
+/// cuts for slightly more bookkeeping — `bench/abl_kway_refine`
+/// quantifies the trade; the serial driver selects it via
+/// PartitionOptions::pq_refinement.
+KwayRefineStats kway_refine_pq(const CsrGraph& g, Partition& p, double eps,
+                               int max_passes);
+
+/// Per-vertex gain computation used by several refiners: fills `conn`
+/// (weight of v's arcs into each part present in its neighbourhood) and
+/// returns the internal weight.  `conn_parts` receives the distinct parts.
+wgt_t vertex_connectivity(const CsrGraph& g, const std::vector<part_t>& where,
+                          vid_t v, std::vector<wgt_t>& conn_scratch,
+                          std::vector<part_t>& conn_parts);
+
+}  // namespace gp

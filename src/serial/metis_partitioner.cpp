@@ -1,0 +1,94 @@
+#include "serial/metis_partitioner.hpp"
+
+#include <memory>
+
+#include "core/matching.hpp"
+#include "serial/hem_matching.hpp"
+#include "serial/kway_refine.hpp"
+#include "serial/rb_partition.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace gp {
+
+PartitionResult SerialMetisPartitioner::run(const CsrGraph& g,
+                                            const PartitionOptions& opts) const {
+  validate_options(g, opts);
+  WallTimer wall;
+  PartitionResult res;
+  Rng rng(opts.seed);
+
+  struct Level {
+    CsrGraph graph;          // coarse graph produced at this level
+    std::vector<vid_t> cmap; // fine->coarse map that produced it
+  };
+  std::vector<Level> levels;
+
+  // --- Coarsening ---
+  const vid_t target = opts.coarsen_target();
+  const CsrGraph* cur = &g;
+  res.levels.push_back({g.num_vertices(), g.num_edges()});
+  while (cur->num_vertices() > target) {
+    SerialMatchStats mstats;
+    MatchResult m = hem_match_serial(*cur, rng, &mstats);
+    if (static_cast<double>(m.n_coarse) >
+        opts.min_shrink * static_cast<double>(cur->num_vertices())) {
+      break;  // matching stalled (e.g. star graphs); stop coarsening
+    }
+    CsrGraph coarse = contract_serial(*cur, m.match, m.cmap, m.n_coarse);
+    const auto lvl = static_cast<int>(levels.size());
+    res.ledger.charge_serial("coarsen/match/L" + std::to_string(lvl),
+                             mstats.work_units);
+    res.ledger.charge_serial(
+        "coarsen/contract/L" + std::to_string(lvl),
+        static_cast<std::uint64_t>(cur->num_arcs() + coarse.num_arcs()));
+    levels.push_back({std::move(coarse), std::move(m.cmap)});
+    cur = &levels.back().graph;
+    res.levels.push_back({cur->num_vertices(), cur->num_edges()});
+  }
+  res.coarsen_levels = static_cast<int>(levels.size());
+  res.coarsest_vertices = cur->num_vertices();
+
+  // --- Initial partitioning ---
+  RbStats rb_stats;
+  Partition p = recursive_bisection(*cur, opts.k, opts.eps, rng, &rb_stats);
+  res.ledger.charge_serial("initpart/rb", rb_stats.work_units);
+
+  // Refine the initial partition in place on the coarsest graph.
+  {
+    auto st = opts.pq_refinement
+                  ? kway_refine_pq(*cur, p, opts.eps, opts.refine_passes)
+                  : kway_refine_serial(*cur, p, opts.eps, opts.refine_passes);
+    res.ledger.charge_serial("initpart/refine", st.work_units);
+  }
+
+  // --- Uncoarsening ---
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    const CsrGraph& fine = (i == 0) ? g : levels[i - 1].graph;
+    p.where = project_partition(levels[i].cmap, p.where);
+    res.ledger.charge_serial(
+        "uncoarsen/project/L" + std::to_string(i),
+        static_cast<std::uint64_t>(fine.num_vertices()));
+    auto st = opts.pq_refinement
+                  ? kway_refine_pq(fine, p, opts.eps, opts.refine_passes)
+                  : kway_refine_serial(fine, p, opts.eps, opts.refine_passes);
+    res.ledger.charge_serial("uncoarsen/refine/L" + std::to_string(i),
+                             st.work_units);
+  }
+
+  res.partition = std::move(p);
+  res.cut = edge_cut(g, res.partition);
+  res.balance = partition_balance(g, res.partition);
+  res.modeled_seconds = res.ledger.total_seconds();
+  res.phases.coarsen = res.ledger.seconds_with_prefix("coarsen/");
+  res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");
+  res.phases.uncoarsen = res.ledger.seconds_with_prefix("uncoarsen/");
+  res.wall_seconds = wall.seconds();
+  return res;
+}
+
+std::unique_ptr<Partitioner> make_serial_partitioner() {
+  return std::make_unique<SerialMetisPartitioner>();
+}
+
+}  // namespace gp

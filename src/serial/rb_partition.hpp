@@ -1,0 +1,29 @@
+// Recursive-bisection k-way partitioning of a (small, already coarse)
+// graph: GGGP seeds each bisection, 2-way FM polishes it, and the two
+// halves recurse until k parts exist.  Shared by the serial driver and —
+// per the paper — by every other driver's initial-partitioning phase
+// (ParMetis' bisection tree, mt-metis' best-of-threads bisection).
+#pragma once
+
+#include <cstdint>
+
+#include "core/csr_graph.hpp"
+#include "core/partition.hpp"
+#include "util/rng.hpp"
+
+namespace gp {
+
+struct RbStats {
+  std::uint64_t work_units = 0;
+};
+
+/// Partitions g into k parts by recursive bisection.  eps is the final
+/// k-way imbalance tolerance; internal bisections use a tightened window
+/// so imbalance cannot compound across levels of the bisection tree.
+[[nodiscard]] Partition recursive_bisection(const CsrGraph& g, part_t k,
+                                            double eps, Rng& rng,
+                                            RbStats* stats = nullptr,
+                                            int gggp_trials = 4,
+                                            int fm_passes = 8);
+
+}  // namespace gp

@@ -1,0 +1,21 @@
+#include "util/log.hpp"
+
+namespace gp {
+namespace detail {
+
+LogLevel& log_level_ref() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+std::mutex& log_mutex_ref() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace detail
+
+void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
+LogLevel log_level() { return detail::log_level_ref(); }
+
+}  // namespace gp

@@ -1,0 +1,53 @@
+// Minimal leveled logger.  Single global level, thread-safe line output.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace gp {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+namespace detail {
+LogLevel&   log_level_ref();
+std::mutex& log_mutex_ref();
+}  // namespace detail
+
+/// Sets the global log level (default: kWarn).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; drops the message if `level` is above the global.
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args... args) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  static const char* kTag[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  std::lock_guard<std::mutex> lock(detail::log_mutex_ref());
+  std::fprintf(stderr, "[%s] ", kTag[static_cast<int>(level)]);
+  if constexpr (sizeof...(Args) == 0) {
+    std::fprintf(stderr, "%s", fmt);
+  } else {
+    std::fprintf(stderr, fmt, args...);
+  }
+  std::fputc('\n', stderr);
+}
+
+template <typename... Args>
+void log_info(const char* fmt, Args... args) {
+  log(LogLevel::kInfo, fmt, args...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args... args) {
+  log(LogLevel::kWarn, fmt, args...);
+}
+template <typename... Args>
+void log_error(const char* fmt, Args... args) {
+  log(LogLevel::kError, fmt, args...);
+}
+template <typename... Args>
+void log_debug(const char* fmt, Args... args) {
+  log(LogLevel::kDebug, fmt, args...);
+}
+
+}  // namespace gp

@@ -1,0 +1,82 @@
+// Host-side inclusive / exclusive prefix sums, serial and pool-parallel.
+//
+// The pool-parallel variant is the classic two-pass blocked scan: each
+// thread scans its block, block totals are scanned serially, then each
+// thread adds its block offset.  The simulated CUDA device scan
+// (src/gpu/scan.*) has the same structure but runs on the device
+// abstraction; this one serves the CPU-side substrates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace gp {
+
+/// In-place inclusive scan: a[i] <- a[0] + ... + a[i].
+template <typename T>
+void inclusive_scan_serial(std::vector<T>& a) {
+  T sum{};
+  for (auto& x : a) {
+    sum += x;
+    x = sum;
+  }
+}
+
+/// In-place exclusive scan: a[i] <- a[0] + ... + a[i-1].  Returns the total.
+template <typename T>
+T exclusive_scan_serial(std::vector<T>& a) {
+  T sum{};
+  for (auto& x : a) {
+    T v = x;
+    x = sum;
+    sum += v;
+  }
+  return sum;
+}
+
+/// In-place inclusive scan on a pool.  Falls back to serial for tiny inputs.
+template <typename T>
+void inclusive_scan_parallel(ThreadPool& pool, std::vector<T>& a) {
+  const auto n = static_cast<std::int64_t>(a.size());
+  const int nt = pool.size();
+  if (n < 4096 || nt == 1) {
+    inclusive_scan_serial(a);
+    return;
+  }
+  std::vector<T> block_total(static_cast<std::size_t>(nt), T{});
+  pool.parallel_for_blocked(n, [&](int t, std::int64_t b, std::int64_t e) {
+    T sum{};
+    for (std::int64_t i = b; i < e; ++i) {
+      sum += a[static_cast<std::size_t>(i)];
+      a[static_cast<std::size_t>(i)] = sum;
+    }
+    block_total[static_cast<std::size_t>(t)] = sum;
+  });
+  T carry{};
+  for (auto& bt : block_total) {
+    T v = bt;
+    bt = carry;
+    carry += v;
+  }
+  pool.parallel_for_blocked(n, [&](int t, std::int64_t b, std::int64_t e) {
+    const T off = block_total[static_cast<std::size_t>(t)];
+    if (off == T{}) return;
+    for (std::int64_t i = b; i < e; ++i) a[static_cast<std::size_t>(i)] += off;
+  });
+}
+
+/// In-place exclusive scan on a pool.  Returns the total.
+template <typename T>
+T exclusive_scan_parallel(ThreadPool& pool, std::vector<T>& a) {
+  if (a.empty()) return T{};
+  inclusive_scan_parallel(pool, a);
+  T total = a.back();
+  // Shift right by one.  (Serial; the scan above dominates.)
+  for (std::size_t i = a.size(); i-- > 1;) a[i] = a[i - 1];
+  a[0] = T{};
+  return total;
+}
+
+}  // namespace gp

@@ -1,0 +1,59 @@
+// Small summary-statistics helpers used by benches and the cost model.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace gp {
+
+struct Summary {
+  double min = 0, max = 0, mean = 0, median = 0, stddev = 0;
+  std::size_t count = 0;
+};
+
+/// Computes min/max/mean/median/stddev of `v` (empty -> zeros).
+template <typename T>
+Summary summarize(std::vector<T> v) {
+  Summary s;
+  s.count = v.size();
+  if (v.empty()) return s;
+  std::sort(v.begin(), v.end());
+  s.min = static_cast<double>(v.front());
+  s.max = static_cast<double>(v.back());
+  double sum = 0;
+  for (const auto& x : v) sum += static_cast<double>(x);
+  s.mean = sum / static_cast<double>(v.size());
+  const std::size_t mid = v.size() / 2;
+  s.median = (v.size() % 2 == 1)
+                 ? static_cast<double>(v[mid])
+                 : 0.5 * (static_cast<double>(v[mid - 1]) +
+                          static_cast<double>(v[mid]));
+  double ss = 0;
+  for (const auto& x : v) {
+    const double d = static_cast<double>(x) - s.mean;
+    ss += d * d;
+  }
+  s.stddev = std::sqrt(ss / static_cast<double>(v.size()));
+  return s;
+}
+
+/// max/mean ratio of a work distribution; 1.0 = perfectly balanced.
+/// Used by the cost model to turn measured per-thread work into an
+/// imbalance penalty.
+template <typename T>
+double imbalance_factor(const std::vector<T>& work) {
+  if (work.empty()) return 1.0;
+  T mx{};
+  double sum = 0;
+  for (const auto& w : work) {
+    mx = std::max(mx, w);
+    sum += static_cast<double>(w);
+  }
+  const double mean = sum / static_cast<double>(work.size());
+  if (mean <= 0) return 1.0;
+  return std::max(1.0, static_cast<double>(mx) / mean);
+}
+
+}  // namespace gp

@@ -1,0 +1,75 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gp {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  remaining_ = size();
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::parallel_for_blocked(
+    std::int64_t n,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  const int nt = size();
+  run_on_all([&, n, nt](int t) {
+    auto [b, e] = block_range(n, nt, t);
+    if (b < e) fn(t, b, e);
+  });
+}
+
+std::pair<std::int64_t, std::int64_t> ThreadPool::block_range(std::int64_t n,
+                                                              int num_threads,
+                                                              int t) {
+  assert(num_threads > 0 && t >= 0 && t < num_threads);
+  const std::int64_t chunk = n / num_threads;
+  const std::int64_t rem = n % num_threads;
+  const std::int64_t begin = t * chunk + std::min<std::int64_t>(t, rem);
+  const std::int64_t end = begin + chunk + (t < rem ? 1 : 0);
+  return {begin, end};
+}
+
+}  // namespace gp

@@ -1,0 +1,75 @@
+// Persistent worker-thread pool with a fork-join parallel_for.
+//
+// The mt-metis reimplementation (src/mt) and the simulated CUDA device
+// (src/gpu) both execute their logical parallelism on this pool.  The pool
+// deliberately allows more workers than hardware cores: the container this
+// reproduction runs in may have a single core, yet the algorithms under
+// study are *defined* by how T logical threads race on shared arrays, so
+// the pool preserves that concurrency structure regardless of core count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gp {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` persistent workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(thread_id)` once on every worker and waits for all of them.
+  /// This is the SPMD primitive: each invocation sees its own thread id and
+  /// typically derives its vertex range from it.
+  void run_on_all(const std::function<void(int)>& fn);
+
+  /// Splits [0, n) into `size()` contiguous blocks and runs
+  /// `fn(thread_id, begin, end)` per block in parallel.  Blocks are the
+  /// static ownership ranges used by the mt-metis-style algorithms.
+  void parallel_for_blocked(
+      std::int64_t n,
+      const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+
+  /// Static block ownership helper: [begin, end) of thread `t` over n items.
+  static std::pair<std::int64_t, std::int64_t> block_range(std::int64_t n,
+                                                           int num_threads,
+                                                           int t);
+
+ private:
+  void worker_loop(int id);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex              mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int           remaining_  = 0;
+  bool          stop_       = false;
+};
+
+/// Convenience: serial fallback parallel_for over [0,n) with chunked
+/// callback, used where a pool is optional.
+inline void serial_for_blocked(
+    std::int64_t n, int pseudo_threads,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  for (int t = 0; t < pseudo_threads; ++t) {
+    auto [b, e] = ThreadPool::block_range(n, pseudo_threads, t);
+    if (b < e) fn(t, b, e);
+  }
+}
+
+}  // namespace gp

@@ -1,0 +1,40 @@
+// Wall-clock timers used by benches and by the phase logs.
+#pragma once
+
+#include <chrono>
+
+namespace gp {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Adds the elapsed time to an accumulator on scope exit.
+class ScopedAccumTimer {
+ public:
+  explicit ScopedAccumTimer(double& accum) : accum_(accum) {}
+  ~ScopedAccumTimer() { accum_ += timer_.seconds(); }
+
+  ScopedAccumTimer(const ScopedAccumTimer&) = delete;
+  ScopedAccumTimer& operator=(const ScopedAccumTimer&) = delete;
+
+ private:
+  double&   accum_;
+  WallTimer timer_;
+};
+
+}  // namespace gp

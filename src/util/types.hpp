@@ -1,0 +1,23 @@
+// Fundamental integer types shared by every module.
+//
+// Widths follow the paper's setting: graphs up to ~24M vertices and ~32M
+// undirected edges (64M directed arcs).  32-bit vertex ids are sufficient;
+// edge offsets and accumulated weights use 64 bits so that prefix sums and
+// cut totals cannot overflow on the largest configured instances.
+#pragma once
+
+#include <cstdint>
+
+namespace gp {
+
+using vid_t  = std::int32_t;  ///< vertex id / vertex count
+using eid_t  = std::int64_t;  ///< edge (arc) index into CSR adjacency
+using wgt_t  = std::int64_t;  ///< vertex or edge weight, and weight sums
+using part_t = std::int32_t;  ///< partition id
+
+/// Sentinel "no vertex" / "unmatched" marker.
+inline constexpr vid_t kInvalidVid = -1;
+/// Sentinel "no partition" marker.
+inline constexpr part_t kInvalidPart = -1;
+
+}  // namespace gp

@@ -1,0 +1,99 @@
+// Tests for the pre-multilevel baselines: recursive coordinate bisection
+// and spectral bisection — including the background's headline claim
+// that the multilevel approach beats both on cut quality.
+#include <gtest/gtest.h>
+
+#include "baselines/rcb.hpp"
+#include "baselines/spectral.hpp"
+#include "core/partitioner.hpp"
+#include "gen/generators.hpp"
+
+namespace gp {
+namespace {
+
+TEST(Rcb, BalancedValidPartition) {
+  std::vector<Point2D> coords;
+  const auto g = delaunay_graph(4000, 5, &coords);
+  ASSERT_EQ(coords.size(), 4000u);
+  const auto p = rcb_partition(g, coords, 8);
+  EXPECT_TRUE(validate_partition(g, p).empty());
+  EXPECT_LE(partition_balance(g, p), 1.1);
+  for (const auto w : partition_weights(g, p)) EXPECT_GT(w, 0);
+}
+
+TEST(Rcb, GeometricPartsAreSpatiallyCompact) {
+  // An RCB part of a uniform point set should have a bounding box far
+  // smaller than the unit square.
+  std::vector<Point2D> coords;
+  const auto g = delaunay_graph(4000, 6, &coords);
+  const auto p = rcb_partition(g, coords, 16);
+  double area_sum = 0;
+  for (part_t q = 0; q < 16; ++q) {
+    double minx = 1e300, maxx = -1e300, miny = 1e300, maxy = -1e300;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (p.where[static_cast<std::size_t>(v)] != q) continue;
+      minx = std::min(minx, coords[static_cast<std::size_t>(v)].x);
+      maxx = std::max(maxx, coords[static_cast<std::size_t>(v)].x);
+      miny = std::min(miny, coords[static_cast<std::size_t>(v)].y);
+      maxy = std::max(maxy, coords[static_cast<std::size_t>(v)].y);
+    }
+    area_sum += (maxx - minx) * (maxy - miny);
+  }
+  // Perfect tiling sums to 1.0; allow slack for box overlap.
+  EXPECT_LT(area_sum, 2.0);
+}
+
+TEST(Spectral, FiedlerVectorSeparatesAPathGraph) {
+  // The Fiedler vector of a path is monotone (cosine profile): its sign
+  // split is the exact middle cut.
+  GraphBuilder b(20);
+  for (vid_t v = 0; v + 1 < 20; ++v) b.add_edge(v, v + 1);
+  const auto g = b.build();
+  const auto f = fiedler_vector(g, {600, 1});
+  // Monotone (up to global sign).
+  const double sgn = (f[0] < f[19]) ? 1.0 : -1.0;
+  for (vid_t v = 0; v + 1 < 20; ++v) {
+    EXPECT_LE(sgn * f[static_cast<std::size_t>(v)],
+              sgn * f[static_cast<std::size_t>(v) + 1] + 1e-6);
+  }
+  const auto p = spectral_bisection(g, {600, 1});
+  EXPECT_EQ(edge_cut(g, p), 1);  // the optimal bisection of a path
+}
+
+TEST(Spectral, BisectsTwoCliquesAtTheBridge) {
+  GraphBuilder b(16);
+  for (vid_t v = 0; v < 8; ++v)
+    for (vid_t u = v + 1; u < 8; ++u) b.add_edge(v, u);
+  for (vid_t v = 8; v < 16; ++v)
+    for (vid_t u = v + 1; u < 16; ++u) b.add_edge(v, u);
+  b.add_edge(0, 8);
+  const auto g = b.build();
+  const auto p = spectral_bisection(g);
+  EXPECT_EQ(edge_cut(g, p), 1);
+}
+
+TEST(Spectral, KWayValidAndBalanced) {
+  const auto g = grid2d_graph(30, 30);
+  const auto p = spectral_partition(g, 8);
+  EXPECT_TRUE(validate_partition(g, p).empty());
+  for (const auto w : partition_weights(g, p)) EXPECT_GT(w, 0);
+  EXPECT_LE(partition_balance(g, p), 1.25);
+}
+
+TEST(Baselines, MultilevelBeatsGeometricAndSpectralOnCut) {
+  // The paper's background: "Multilevel techniques for graph
+  // partitioning show great improvements in the quality of partitions
+  // and partitioning speed as compared to other techniques [4, 5]."
+  std::vector<Point2D> coords;
+  const auto g = delaunay_graph(6000, 9, &coords);
+  PartitionOptions opts;
+  opts.k = 16;
+  const auto ml = make_serial_partitioner()->run(g, opts);
+  const auto rcb = rcb_partition(g, coords, 16);
+  const auto spec = spectral_partition(g, 16, {200, 1});
+  EXPECT_LT(ml.cut, edge_cut(g, rcb));
+  EXPECT_LT(ml.cut, edge_cut(g, spec));
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,143 @@
+// Tests for src/gen: every generator must emit a valid, connected CSR
+// graph with the structural signature its paper counterpart has.
+#include <gtest/gtest.h>
+
+#include "core/graph_ops.hpp"
+#include "gen/generators.hpp"
+
+namespace gp {
+namespace {
+
+TEST(Generators, Grid2d) {
+  const auto g = grid2d_graph(10, 7);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+  EXPECT_EQ(g.num_vertices(), 70);
+  EXPECT_EQ(g.num_edges(), 10 * 6 + 9 * 7);  // vertical + horizontal
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Grid3d) {
+  const auto g = grid3d_graph(4, 5, 6);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(g.num_vertices(), 120);
+  EXPECT_TRUE(is_connected(g));
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.max_degree, 6);
+}
+
+TEST(Generators, ErdosRenyi) {
+  const auto g = erdos_renyi_graph(500, 2000, 7);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(g.num_vertices(), 500);
+  EXPECT_EQ(g.num_edges(), 2000);
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  const auto a = erdos_renyi_graph(100, 300, 42);
+  const auto b = erdos_renyi_graph(100, 300, 42);
+  EXPECT_EQ(a.adjncy(), b.adjncy());
+  EXPECT_EQ(a.adjp(), b.adjp());
+}
+
+TEST(Generators, Rmat) {
+  const auto g = rmat_graph(10, 4000, 3);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(g.num_vertices(), 1024);
+  // Power-law: max degree far above average.
+  const auto s = degree_stats(g);
+  EXPECT_GT(s.max_degree, static_cast<eid_t>(4 * s.avg_degree));
+}
+
+TEST(Generators, FemSlabLooksLikeLdoor) {
+  const auto g = fem_slab_graph(20, 30, 6);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+  EXPECT_TRUE(is_connected(g));
+  const auto s = degree_stats(g);
+  // ldoor's average degree is ~48; the slab with boundary lands 30-52.
+  EXPECT_GT(s.avg_degree, 30.0);
+  EXPECT_LE(s.max_degree, 52);
+}
+
+TEST(Generators, DelaunaySmall) {
+  const auto g = delaunay_graph(50, 11);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+  EXPECT_EQ(g.num_vertices(), 50);
+  EXPECT_TRUE(is_connected(g));
+  // Planar: |E| <= 3n - 6; triangulation: |E| >= ~2n.
+  EXPECT_LE(g.num_edges(), 3 * 50 - 6);
+  EXPECT_GE(g.num_edges(), 2 * 50 - 10);
+}
+
+TEST(Generators, DelaunayMedium) {
+  const auto g = delaunay_graph(5000, 13);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LE(g.num_edges(), 3 * 5000 - 6);
+  const auto s = degree_stats(g);
+  // Interior Delaunay degree averages 6.
+  EXPECT_NEAR(s.avg_degree, 6.0, 0.5);
+}
+
+TEST(Generators, DelaunayEulerFormula) {
+  // For a Delaunay triangulation of points in general position:
+  // E = 3n - 3 - h where h = hull size.  Just check E is in the tight
+  // planar band [2n, 3n-6] and the graph is connected & planar-sized.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto g = delaunay_graph(800, seed);
+    EXPECT_TRUE(g.validate().empty());
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_LE(g.num_edges(), 3 * 800 - 6);
+    EXPECT_GE(g.num_edges(), 2 * 800);
+  }
+}
+
+TEST(Generators, BubbleMeshDegreeThree) {
+  const auto g = bubble_mesh_graph(10000, 6, 5);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+  EXPECT_TRUE(is_connected(g));
+  const auto s = degree_stats(g);
+  EXPECT_LE(s.max_degree, 3);
+  EXPECT_NEAR(s.avg_degree, 3.0, 0.35);  // hugebubbles: exactly 3.0
+}
+
+TEST(Generators, RoadNetworkSignature) {
+  const auto g = road_network_graph(20000, 9);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+  EXPECT_TRUE(is_connected(g));
+  const auto s = degree_stats(g);
+  // USA roads: avg 2.42, max degree small.
+  EXPECT_NEAR(s.avg_degree, 2.4, 0.5);
+  EXPECT_LE(s.max_degree, 8);
+  // Size lands near the request.
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()), 20000.0, 20000.0 * 0.3);
+}
+
+TEST(Generators, PaperRegistryHasFourRows) {
+  const auto& rows = paper_graphs();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "ldoor");
+  EXPECT_EQ(rows[1].name, "delaunay");
+  EXPECT_EQ(rows[2].name, "hugebubble");
+  EXPECT_EQ(rows[3].name, "usa-roads");
+}
+
+TEST(Generators, MakePaperGraphScaled) {
+  for (const auto& info : paper_graphs()) {
+    const double scale = 1.0 / 256.0;
+    const auto g = make_paper_graph(info.name, scale, 1);
+    EXPECT_TRUE(g.validate().empty()) << info.name << ": " << g.validate();
+    EXPECT_TRUE(is_connected(g)) << info.name;
+    const double expected =
+        static_cast<double>(info.paper_vertices) * scale;
+    EXPECT_NEAR(static_cast<double>(g.num_vertices()), expected,
+                expected * 0.5)
+        << info.name;
+  }
+}
+
+TEST(Generators, MakePaperGraphUnknownThrows) {
+  EXPECT_THROW(make_paper_graph("nope", 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,123 @@
+// Tests for src/io: METIS .graph and DIMACS-9 .gr round trips plus
+// malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generators.hpp"
+#include "io/dimacs_io.hpp"
+#include "io/metis_io.hpp"
+
+namespace gp {
+namespace {
+
+TEST(MetisIo, ParsesUnweightedGraph) {
+  // 3-vertex path: header "3 2", 1-based adjacency.
+  std::istringstream in("% a comment\n3 2\n2\n1 3\n2\n");
+  const auto g = read_metis_graph(in);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(MetisIo, ParsesWeights) {
+  // fmt 011: vertex + edge weights.
+  std::istringstream in("2 1 011\n5 2 7\n3 1 7\n");
+  const auto g = read_metis_graph(in);
+  EXPECT_EQ(g.vertex_weight(0), 5);
+  EXPECT_EQ(g.vertex_weight(1), 3);
+  EXPECT_EQ(g.neighbor_weights(0)[0], 7);
+}
+
+TEST(MetisIo, RejectsBadInputs) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("3 2\n2\n1 3\n");  // missing last line
+    EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("3 2\n9\n1 3\n2\n");  // neighbour out of range
+    EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("3 5\n2\n1 3\n2\n");  // wrong edge count
+    EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+  }
+}
+
+TEST(MetisIo, RoundTripPreservesGraph) {
+  const auto g = delaunay_graph(500, 3);
+  std::stringstream buf;
+  write_metis_graph(buf, g);
+  const auto h = read_metis_graph(buf);
+  EXPECT_EQ(h.adjp(), g.adjp());
+  EXPECT_EQ(h.adjncy(), g.adjncy());
+  EXPECT_EQ(h.adjwgt(), g.adjwgt());
+  EXPECT_EQ(h.vwgt(), g.vwgt());
+}
+
+TEST(MetisIo, RoundTripWeighted) {
+  GraphBuilder b(4);
+  b.set_vertex_weight(0, 3);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 9);
+  const auto g = b.build();
+  std::stringstream buf;
+  write_metis_graph(buf, g);
+  const auto h = read_metis_graph(buf);
+  EXPECT_EQ(h.vwgt(), g.vwgt());
+  EXPECT_EQ(h.adjwgt(), g.adjwgt());
+}
+
+TEST(MetisIo, PartitionFileRoundTrip) {
+  const std::vector<part_t> where = {0, 3, 1, 1, 2, 0};
+  const std::string path = "/tmp/gp_test_part.txt";
+  write_partition_file(path, where);
+  EXPECT_EQ(read_partition_file(path), where);
+}
+
+TEST(DimacsIo, ParsesRoadFormat) {
+  std::istringstream in(
+      "c USA-road-d style\n"
+      "p sp 3 4\n"
+      "a 1 2 10\n"
+      "a 2 1 10\n"
+      "a 2 3 5\n"
+      "a 3 2 5\n");
+  const auto g = read_dimacs_gr(in);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.neighbor_weights(0)[0], 10);
+}
+
+TEST(DimacsIo, RejectsBadInputs) {
+  {
+    std::istringstream in("a 1 2 3\n");  // arc before p
+    EXPECT_THROW(read_dimacs_gr(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("p sp 2 1\na 1 9 3\n");  // out of range
+    EXPECT_THROW(read_dimacs_gr(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("p sp 2 5\na 1 2 3\n");  // arc count mismatch
+    EXPECT_THROW(read_dimacs_gr(in), std::runtime_error);
+  }
+}
+
+TEST(DimacsIo, RoundTripPreservesGraph) {
+  const auto g = road_network_graph(2000, 7);
+  std::stringstream buf;
+  write_dimacs_gr(buf, g);
+  const auto h = read_dimacs_gr(buf);
+  EXPECT_EQ(h.adjp(), g.adjp());
+  EXPECT_EQ(h.adjncy(), g.adjncy());
+  EXPECT_EQ(h.adjwgt(), g.adjwgt());
+}
+
+}  // namespace
+}  // namespace gp

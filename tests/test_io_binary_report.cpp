@@ -1,0 +1,102 @@
+// Tests for the binary CSR snapshot format and the partition report.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "gen/generators.hpp"
+#include "io/binary_io.hpp"
+#include "serial/rb_partition.hpp"
+
+namespace gp {
+namespace {
+
+TEST(BinaryIo, RoundTripPreservesEverything) {
+  GraphBuilder b(5);
+  b.set_vertex_weight(0, 7);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 4);
+  b.add_edge(3, 4, 1);
+  b.add_edge(4, 0, 2);
+  const auto g = b.build();
+  std::stringstream buf;
+  write_binary_graph(buf, g);
+  const auto h = read_binary_graph(buf);
+  EXPECT_EQ(h.adjp(), g.adjp());
+  EXPECT_EQ(h.adjncy(), g.adjncy());
+  EXPECT_EQ(h.adjwgt(), g.adjwgt());
+  EXPECT_EQ(h.vwgt(), g.vwgt());
+}
+
+TEST(BinaryIo, RoundTripLargeGraph) {
+  const auto g = delaunay_graph(5000, 9);
+  std::stringstream buf;
+  write_binary_graph(buf, g);
+  const auto h = read_binary_graph(buf);
+  EXPECT_EQ(h.adjncy(), g.adjncy());
+  EXPECT_TRUE(h.validate().empty());
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOTAMAGI loads of junk";
+  EXPECT_THROW(read_binary_graph(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncated) {
+  const auto g = grid2d_graph(10, 10);
+  std::stringstream buf;
+  write_binary_graph(buf, g);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_binary_graph(cut), std::runtime_error);
+}
+
+TEST(BinaryIo, EmptyGraph) {
+  CsrGraph g({0}, {}, {}, {});
+  std::stringstream buf;
+  write_binary_graph(buf, g);
+  const auto h = read_binary_graph(buf);
+  EXPECT_EQ(h.num_vertices(), 0);
+}
+
+TEST(Report, RowsAddUpToTotals) {
+  const auto g = grid2d_graph(20, 20);
+  Rng rng(1);
+  const auto p = recursive_bisection(g, 4, 0.05, rng);
+  const auto rep = analyze_partition(g, p);
+  EXPECT_EQ(rep.cut, edge_cut(g, p));
+  EXPECT_EQ(rep.comm_volume, communication_volume(g, p));
+  EXPECT_EQ(rep.boundary, boundary_size(g, p));
+  wgt_t weight = 0;
+  vid_t verts = 0, bverts = 0;
+  wgt_t extw = 0;
+  for (const auto& row : rep.parts) {
+    weight += row.weight;
+    verts += row.vertices;
+    bverts += row.boundary_vertices;
+    extw += row.external_weight;
+  }
+  EXPECT_EQ(weight, g.total_vertex_weight());
+  EXPECT_EQ(verts, g.num_vertices());
+  EXPECT_EQ(bverts, rep.boundary);
+  EXPECT_EQ(extw, 2 * rep.cut);  // every cut edge counted from both sides
+}
+
+TEST(Report, FormatContainsKeyNumbers) {
+  const auto g = grid2d_graph(8, 8);
+  Rng rng(2);
+  const auto p = recursive_bisection(g, 2, 0.05, rng);
+  const auto rep = analyze_partition(g, p);
+  const auto text = format_report(rep);
+  EXPECT_NE(text.find("edge cut"), std::string::npos);
+  EXPECT_NE(text.find("balance"), std::string::npos);
+  // Per-part rows: one line per part plus header.
+  EXPECT_NE(text.find("part"), std::string::npos);
+  const auto no_rows = format_report(rep, false);
+  EXPECT_EQ(no_rows.find("ext.weight"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,63 @@
+// Tests for the Jostle-style partitioner (background system inventory).
+#include <gtest/gtest.h>
+
+#include "core/partitioner.hpp"
+#include "gen/generators.hpp"
+#include "serial/jostle_partitioner.hpp"
+
+namespace gp {
+namespace {
+
+TEST(Jostle, CoarsensToExactlyKAndPartitionsValidly) {
+  const auto g = grid2d_graph(40, 40);
+  PartitionOptions opts;
+  opts.k = 8;
+  const auto r = JostlePartitioner().run(g, opts);
+  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_EQ(r.coarsest_vertices, 8);  // Jostle's termination rule
+  EXPECT_GT(r.coarsen_levels, 4);     // 1600 -> 8 needs ~8 halvings
+  for (const auto w : partition_weights(g, r.partition)) EXPECT_GT(w, 0);
+}
+
+TEST(Jostle, BalancingStepRestoresConstraint) {
+  const auto g = delaunay_graph(3000, 4);
+  PartitionOptions opts;
+  opts.k = 12;
+  opts.eps = 0.05;
+  const auto r = JostlePartitioner().run(g, opts);
+  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  const wgt_t maxw = max_part_weight(g.total_vertex_weight(), 12, 0.05);
+  for (const auto w : partition_weights(g, r.partition)) EXPECT_LE(w, maxw);
+}
+
+TEST(Jostle, QualityWithinBandOfMetis) {
+  // Jostle's trivial initial partitioning leans on refinement; it should
+  // still land within a modest factor of the Metis baseline.
+  const auto g = grid2d_graph(48, 48);
+  PartitionOptions opts;
+  opts.k = 8;
+  const auto metis = make_serial_partitioner()->run(g, opts);
+  const auto jostle = JostlePartitioner().run(g, opts);
+  EXPECT_LT(static_cast<double>(jostle.cut),
+            2.0 * static_cast<double>(metis.cut) + 50.0);
+}
+
+TEST(Jostle, StallFallbackOnStarGraph) {
+  // A star cannot coarsen to k vertices (one matching halves it once,
+  // then everything is pinned to the hub) — the RB fallback must kick in.
+  GraphBuilder b(101);
+  for (vid_t v = 1; v <= 100; ++v) b.add_edge(0, v);
+  const auto g = b.build();
+  PartitionOptions opts;
+  opts.k = 4;
+  const auto r = JostlePartitioner().run(g, opts);
+  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  for (const auto w : partition_weights(g, r.partition)) EXPECT_GT(w, 0);
+}
+
+TEST(Jostle, FactoryName) {
+  EXPECT_EQ(make_jostle_partitioner()->name(), "jostle");
+}
+
+}  // namespace
+}  // namespace gp

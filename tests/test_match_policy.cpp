@@ -1,0 +1,136 @@
+// Tests for the matching-policy variants (HEM / LEM / RM) and additional
+// device / comm coverage.
+#include <gtest/gtest.h>
+
+#include "core/matching.hpp"
+#include "gen/generators.hpp"
+#include "gpu/device_buffer.hpp"
+#include "par/comm.hpp"
+#include "serial/hem_matching.hpp"
+
+namespace gp {
+namespace {
+
+class MatchPolicies : public ::testing::TestWithParam<MatchPolicy> {};
+
+TEST_P(MatchPolicies, ValidInvolutionOnMeshes) {
+  Rng rng(3);
+  for (const auto& g :
+       {grid2d_graph(30, 30), delaunay_graph(1500, 2),
+        road_network_graph(2000, 4)}) {
+    auto m = match_serial_policy(g, GetParam(), rng);
+    EXPECT_TRUE(validate_match(m.match).empty());
+    EXPECT_TRUE(validate_cmap(m.match, m.cmap, m.n_coarse).empty());
+    // Matching must shrink the graph (meshes have few isolated vertices).
+    EXPECT_LT(m.n_coarse, static_cast<vid_t>(0.75 * g.num_vertices()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, MatchPolicies,
+                         ::testing::Values(MatchPolicy::kHeavyEdge,
+                                           MatchPolicy::kLightEdge,
+                                           MatchPolicy::kRandom));
+
+TEST(MatchPolicies, HemPrefersHeavyLemPrefersLight) {
+  // Vertex 0 has a heavy edge to 1 and a light edge to 2.
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 9);
+  b.add_edge(0, 2, 1);
+  const auto g = b.build();
+  // Deterministic check across several seeds (visit order random, but
+  // whoever is visited first among {0,1,2}, the policy decides 0's mate:
+  // vertex 1's only neighbour is 0; vertex 2's only neighbour is 0).
+  int hem_took_heavy = 0, lem_took_light = 0, trials = 20;
+  for (int s = 0; s < trials; ++s) {
+    Rng r1(static_cast<std::uint64_t>(s));
+    auto hem = match_serial_policy(g, MatchPolicy::kHeavyEdge, r1);
+    if (hem.match[0] == 1) ++hem_took_heavy;
+    Rng r2(static_cast<std::uint64_t>(s));
+    auto lem = match_serial_policy(g, MatchPolicy::kLightEdge, r2);
+    if (lem.match[0] == 2) ++lem_took_light;
+  }
+  // When vertex 0 is visited first (about 1/3 of the orders) the policy
+  // dictates the choice; when 1 or 2 goes first they grab 0 regardless.
+  EXPECT_GT(hem_took_heavy, trials / 4);
+  EXPECT_GT(lem_took_light, trials / 4);
+  EXPECT_GT(hem_took_heavy, lem_took_light - trials);  // sanity
+}
+
+TEST(MatchPolicies, HemYieldsBetterCoarseningQualityThanLem) {
+  // On weighted coarse graphs, collapsing heavy edges keeps coarse edge
+  // weight low.  Compare total coarse arc weight after two levels.
+  Rng rng(5);
+  CsrGraph g = delaunay_graph(5000, 6);
+  auto run = [&](MatchPolicy p, std::uint64_t seed) {
+    Rng r(seed);
+    CsrGraph cur = g;
+    for (int lvl = 0; lvl < 3; ++lvl) {
+      auto m = match_serial_policy(cur, p, r);
+      cur = contract_serial(cur, m.match, m.cmap, m.n_coarse);
+    }
+    return cur.total_arc_weight();
+  };
+  // Average over seeds to dodge noise.
+  wgt_t hem = 0, lem = 0;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    hem += run(MatchPolicy::kHeavyEdge, s);
+    lem += run(MatchPolicy::kLightEdge, s);
+  }
+  EXPECT_LT(hem, lem);
+}
+
+// --- extra device coverage ---
+
+TEST(DeviceBuffer, MoveTransfersOwnershipAndAccounting) {
+  Device dev;
+  DeviceBuffer<int> a(dev, 100, "a");
+  const auto used = dev.allocated_bytes();
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_EQ(dev.allocated_bytes(), used);  // no double count
+  b.release();
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(DeviceBuffer, FillSetsAllElements) {
+  Device dev;
+  DeviceBuffer<int> a(dev, 257, "a");
+  a.fill(42);
+  for (const int x : a.d2h_vector()) EXPECT_EQ(x, 42);
+}
+
+TEST(Device, PeakBytesTracksHighWaterMark) {
+  Device dev;
+  EXPECT_EQ(dev.peak_bytes(), 0u);
+  {
+    DeviceBuffer<char> a(dev, 1000, "a");
+    { DeviceBuffer<char> b(dev, 5000, "b"); }
+    EXPECT_EQ(dev.allocated_bytes(), 1000u);
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  EXPECT_EQ(dev.peak_bytes(), 6000u);
+}
+
+TEST(Device, ResetCountersClearsTransfersNotAllocations) {
+  Device dev;
+  DeviceBuffer<int> a(dev, 10, "a");
+  a.h2d(std::vector<int>(10, 1));
+  EXPECT_GT(dev.total_h2d_bytes(), 0u);
+  dev.reset_counters();
+  EXPECT_EQ(dev.total_h2d_bytes(), 0u);
+  EXPECT_EQ(dev.allocated_bytes(), 40u);
+}
+
+// --- extra comm coverage ---
+
+TEST(SimComm, AllgatherMetersRingTraffic) {
+  ThreadPool pool(4);
+  CostLedger ledger;
+  SimComm comm(4, pool, &ledger);
+  std::vector<std::vector<int>> contrib(4, std::vector<int>(250, 7));
+  comm.allgather("t", contrib);
+  // Ring model: (P-1) messages, (P-1) * 1000 bytes.
+  EXPECT_EQ(ledger.bytes_with_prefix("comm/allgather/"), 3000u);
+}
+
+}  // namespace
+}  // namespace gp

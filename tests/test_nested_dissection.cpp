@@ -1,0 +1,92 @@
+// Tests for the nested-dissection ordering application.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/nested_dissection.hpp"
+#include "gen/generators.hpp"
+
+namespace gp {
+namespace {
+
+TEST(NestedDissection, ProducesAValidPermutation) {
+  const auto g = grid2d_graph(20, 20);
+  const auto perm = nested_dissection_order(g);
+  ASSERT_EQ(perm.size(), 400u);
+  std::vector<char> seen(400, 0);
+  for (const vid_t p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 400);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(p)]) << "duplicate position";
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+}
+
+TEST(NestedDissection, ReducesFillOnGrid) {
+  // The textbook result: natural (row-major) ordering of a s x s grid
+  // fills O(s^3); nested dissection fills O(s^2 log s).  At s = 24 the
+  // gap is already pronounced.
+  const vid_t s = 24;
+  const auto g = grid2d_graph(s, s);
+  std::vector<vid_t> natural(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(natural.begin(), natural.end(), 0);
+  const auto nd = nested_dissection_order(g, {16, 1});
+  const auto fill_natural = symbolic_fill_in(g, natural);
+  const auto fill_nd = symbolic_fill_in(g, nd);
+  EXPECT_LT(fill_nd, (fill_natural * 3) / 4)
+      << "natural " << fill_natural << " vs nd " << fill_nd;
+}
+
+TEST(NestedDissection, ReducesFillOnDelaunay) {
+  const auto g = delaunay_graph(600, 3);
+  std::vector<vid_t> natural(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(natural.begin(), natural.end(), 0);
+  const auto nd = nested_dissection_order(g, {24, 1});
+  EXPECT_LT(symbolic_fill_in(g, nd), symbolic_fill_in(g, natural));
+}
+
+TEST(NestedDissection, LeafSizedGraphIsIdentityClass) {
+  const auto g = grid2d_graph(4, 4);
+  const auto perm = nested_dissection_order(g, {64, 1});
+  // Below the leaf size the order is the input order.
+  for (vid_t v = 0; v < 16; ++v) EXPECT_EQ(perm[static_cast<std::size_t>(v)], v);
+}
+
+TEST(NestedDissection, HandlesDisconnectedGraphs) {
+  GraphBuilder b(40);
+  for (vid_t v = 0; v < 19; ++v) b.add_edge(v, v + 1);
+  for (vid_t v = 20; v < 39; ++v) b.add_edge(v, v + 1);
+  const auto g = b.build();
+  const auto perm = nested_dissection_order(g, {8, 1});
+  std::vector<char> seen(40, 0);
+  for (const vid_t p : perm) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+}
+
+TEST(SymbolicFill, KnownSmallCases) {
+  // Path graph: eliminating ends-first never fills; natural order of a
+  // path also never fills (each eliminated vertex has <= 1 later nbr).
+  const auto path = [] {
+    GraphBuilder b(6);
+    for (vid_t v = 0; v + 1 < 6; ++v) b.add_edge(v, v + 1);
+    return b.build();
+  }();
+  std::vector<vid_t> natural(6);
+  std::iota(natural.begin(), natural.end(), 0);
+  EXPECT_EQ(symbolic_fill_in(path, natural), 0u);
+
+  // Star eliminated hub-first: clique on the leaves -> C(5,2) = 10 fill.
+  GraphBuilder b(6);
+  for (vid_t v = 1; v < 6; ++v) b.add_edge(0, v);
+  const auto star = b.build();
+  std::vector<vid_t> hub_first = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(symbolic_fill_in(star, hub_first), 10u);
+  // Hub last: leaves have no later neighbours except the hub -> 0 fill.
+  std::vector<vid_t> hub_last = {5, 0, 1, 2, 3, 4};
+  EXPECT_EQ(symbolic_fill_in(star, hub_last), 0u);
+}
+
+}  // namespace
+}  // namespace gp

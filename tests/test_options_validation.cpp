@@ -1,0 +1,133 @@
+// Tests for the shared (graph, options) precondition validation and for
+// each driver's behaviour at the legal boundaries (k = 1, k = n, tiny
+// graphs).
+#include <gtest/gtest.h>
+
+#include "core/partitioner.hpp"
+#include "gen/generators.hpp"
+
+namespace gp {
+namespace {
+
+std::vector<std::unique_ptr<Partitioner>> all_partitioners() {
+  std::vector<std::unique_ptr<Partitioner>> v;
+  v.push_back(make_serial_partitioner());
+  v.push_back(make_mt_partitioner());
+  v.push_back(make_par_partitioner());
+  v.push_back(make_hybrid_partitioner());
+  return v;
+}
+
+TEST(Validation, RejectsBadK) {
+  const auto g = grid2d_graph(4, 4);
+  for (const auto& p : all_partitioners()) {
+    PartitionOptions opts;
+    opts.k = 0;
+    EXPECT_THROW(p->run(g, opts), std::invalid_argument) << p->name();
+    opts.k = -3;
+    EXPECT_THROW(p->run(g, opts), std::invalid_argument) << p->name();
+    opts.k = 17;  // > n = 16
+    EXPECT_THROW(p->run(g, opts), std::invalid_argument) << p->name();
+  }
+}
+
+TEST(Validation, RejectsBadEps) {
+  const auto g = grid2d_graph(4, 4);
+  PartitionOptions opts;
+  opts.k = 2;
+  opts.eps = -0.1;
+  EXPECT_THROW(validate_options(g, opts), std::invalid_argument);
+  opts.eps = 1.0;
+  EXPECT_THROW(validate_options(g, opts), std::invalid_argument);
+  opts.eps = 0.0;
+  EXPECT_NO_THROW(validate_options(g, opts));
+}
+
+TEST(Validation, RejectsBadThreadsRanks) {
+  const auto g = grid2d_graph(4, 4);
+  PartitionOptions opts;
+  opts.k = 2;
+  opts.threads = 0;
+  EXPECT_THROW(validate_options(g, opts), std::invalid_argument);
+  opts.threads = 8;
+  opts.ranks = 0;
+  EXPECT_THROW(validate_options(g, opts), std::invalid_argument);
+}
+
+TEST(Validation, KEqualsOneIsIdentityPartition) {
+  const auto g = grid2d_graph(8, 8);
+  for (const auto& p : all_partitioners()) {
+    PartitionOptions opts;
+    opts.k = 1;
+    const auto r = p->run(g, opts);
+    EXPECT_TRUE(validate_partition(g, r.partition).empty()) << p->name();
+    EXPECT_EQ(r.cut, 0) << p->name();
+  }
+}
+
+TEST(Validation, KEqualsNWorks) {
+  // One vertex per part: cut = total edge weight, perfectly balanced.
+  const auto g = grid2d_graph(3, 3);
+  for (const auto& p : all_partitioners()) {
+    PartitionOptions opts;
+    opts.k = 9;
+    opts.eps = 0.0;
+    const auto r = p->run(g, opts);
+    EXPECT_TRUE(validate_partition(g, r.partition).empty()) << p->name();
+    // Not all drivers reach the singleton optimum, but every part must
+    // hold at least one vertex when k == n.
+    auto pw = partition_weights(g, r.partition);
+    for (const auto w : pw) EXPECT_GE(w, 1) << p->name();
+  }
+}
+
+TEST(Validation, TinyAndDegenerateGraphs) {
+  // Two vertices, one edge, k = 2.
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const auto g = b.build();
+  for (const auto& p : all_partitioners()) {
+    PartitionOptions opts;
+    opts.k = 2;
+    const auto r = p->run(g, opts);
+    EXPECT_TRUE(validate_partition(g, r.partition).empty()) << p->name();
+    EXPECT_EQ(r.cut, 1) << p->name();
+  }
+}
+
+TEST(Validation, EdgelessGraph) {
+  // Isolated vertices: any balanced assignment has cut 0.
+  GraphBuilder b(8);
+  const auto g = b.build();
+  for (const auto& p : all_partitioners()) {
+    PartitionOptions opts;
+    opts.k = 4;
+    const auto r = p->run(g, opts);
+    EXPECT_TRUE(validate_partition(g, r.partition).empty()) << p->name();
+    EXPECT_EQ(r.cut, 0) << p->name();
+  }
+}
+
+TEST(Validation, DisconnectedGraph) {
+  // Two separate grids; partitioners must still produce k valid parts.
+  GraphBuilder b(32);
+  for (vid_t base : {0, 16}) {
+    for (vid_t y = 0; y < 4; ++y) {
+      for (vid_t x = 0; x < 4; ++x) {
+        const vid_t v = base + y * 4 + x;
+        if (x + 1 < 4) b.add_edge(v, v + 1);
+        if (y + 1 < 4) b.add_edge(v, v + 4);
+      }
+    }
+  }
+  const auto g = b.build();
+  for (const auto& p : all_partitioners()) {
+    PartitionOptions opts;
+    opts.k = 4;
+    const auto r = p->run(g, opts);
+    EXPECT_TRUE(validate_partition(g, r.partition).empty()) << p->name();
+  }
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,88 @@
+// Regression-locks for the paper's evaluation claims at test scale —
+// the same checks the bench binaries print, small enough for ctest.
+// (bench/fig5_speedup etc. run the full-scale versions.)
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/partitioner.hpp"
+#include "gen/generators.hpp"
+
+namespace gp {
+namespace {
+
+struct MatrixResult {
+  double modeled = 0;
+  wgt_t cut = 0;
+};
+
+std::map<std::string, MatrixResult> run_systems(const CsrGraph& g,
+                                                part_t k,
+                                                vid_t gpu_threshold) {
+  std::map<std::string, MatrixResult> out;
+  std::vector<std::unique_ptr<Partitioner>> systems;
+  systems.push_back(make_serial_partitioner());
+  systems.push_back(make_par_partitioner());
+  systems.push_back(make_mt_partitioner());
+  systems.push_back(make_hybrid_partitioner());
+  for (const auto& sys : systems) {
+    PartitionOptions opts;
+    opts.k = k;
+    opts.eps = 0.03;
+    opts.gpu_cpu_threshold = gpu_threshold;
+    // Best of 2, as the paper takes the minimum of repeated runs.
+    MatrixResult best{1e300, 0};
+    for (std::uint64_t s = 1; s <= 2; ++s) {
+      opts.seed = s;
+      const auto r = sys->run(g, opts);
+      if (r.modeled_seconds < best.modeled) {
+        best = {r.modeled_seconds, r.cut};
+      }
+    }
+    out[sys->name()] = best;
+  }
+  return out;
+}
+
+TEST(PaperClaims, Fig5OrderingOnLargeGraphShapes) {
+  // GP-metis > Metis and > ParMetis; the large-graph rows are where the
+  // margins are structural, so test those two shapes — at the bench's
+  // evaluation scale (1/64): below it the graphs sit in the GPU's
+  // low-occupancy regime, which is exactly the effect the paper's
+  // GPU->CPU threshold exists to dodge.
+  for (const char* name : {"hugebubble", "usa-roads"}) {
+    const auto g = make_paper_graph(name, 1.0 / 64.0, 2);
+    const auto rows = run_systems(g, 64, 4096);
+    EXPECT_LT(rows.at("gp-metis").modeled, rows.at("metis").modeled) << name;
+    EXPECT_LT(rows.at("gp-metis").modeled, rows.at("parmetis").modeled)
+        << name;
+    EXPECT_LT(rows.at("mt-metis").modeled, rows.at("metis").modeled) << name;
+  }
+}
+
+TEST(PaperClaims, TableIIIComparableQuality) {
+  for (const char* name : {"ldoor", "delaunay"}) {
+    const auto g = make_paper_graph(name, 1.0 / 256.0, 3);
+    const auto rows = run_systems(g, 64, 2048);
+    const auto metis_cut = static_cast<double>(rows.at("metis").cut);
+    for (const char* sys : {"parmetis", "mt-metis", "gp-metis"}) {
+      EXPECT_LT(static_cast<double>(rows.at(sys).cut), 1.6 * metis_cut)
+          << name << "/" << sys;
+    }
+  }
+}
+
+TEST(PaperClaims, TransferStaysSmallFractionOfGpMetis) {
+  // "the size of the coarse graph ... makes the transfer very quick":
+  // transfers must stay a minor share of GP-metis' modeled time.
+  const auto g = make_paper_graph("hugebubble", 1.0 / 256.0, 4);
+  PartitionOptions opts;
+  opts.k = 64;
+  opts.gpu_cpu_threshold = 2048;
+  const auto r = make_hybrid_partitioner()->run(g, opts);
+  EXPECT_LT(r.phases.transfer, 0.35 * r.modeled_seconds);
+  EXPECT_GT(r.phases.transfer, 0.0);
+}
+
+}  // namespace
+}  // namespace gp

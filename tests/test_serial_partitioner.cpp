@@ -1,0 +1,268 @@
+// Tests for src/serial: HEM matching, GGGP, FM, recursive bisection,
+// k-way refinement, and the full multilevel driver.
+#include <gtest/gtest.h>
+
+#include "core/matching.hpp"
+#include "core/partitioner.hpp"
+#include "gen/generators.hpp"
+#include "serial/bisection.hpp"
+#include "serial/hem_matching.hpp"
+#include "serial/kway_refine.hpp"
+#include "serial/metis_partitioner.hpp"
+#include "serial/rb_partition.hpp"
+
+namespace gp {
+namespace {
+
+TEST(HemMatching, ValidInvolutionOnGrid) {
+  const auto g = grid2d_graph(20, 20);
+  Rng rng(1);
+  const auto m = hem_match_serial(g, rng);
+  EXPECT_TRUE(validate_match(m.match).empty());
+  EXPECT_TRUE(validate_cmap(m.match, m.cmap, m.n_coarse).empty());
+}
+
+TEST(HemMatching, PrefersHeavyEdges) {
+  // Path with one heavy edge: 0 -1- 1 -9- 2 -1- 3, visited 1 first.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 9);
+  b.add_edge(2, 3, 1);
+  const auto g = b.build();
+  const auto m = hem_match_serial_ordered(g, {1, 0, 2, 3});
+  // Vertex 1's heaviest neighbour is 2: HEM takes the w=9 edge.
+  EXPECT_EQ(m.match[1], 2);
+  EXPECT_EQ(m.match[2], 1);
+  // The leftovers self- or pair-match validly.
+  EXPECT_TRUE(validate_match(m.match).empty());
+}
+
+TEST(HemMatching, OrderedIsDeterministic) {
+  const auto g = grid2d_graph(8, 8);
+  std::vector<vid_t> order(64);
+  for (vid_t v = 0; v < 64; ++v) order[static_cast<std::size_t>(v)] = 63 - v;
+  const auto a = hem_match_serial_ordered(g, order);
+  const auto b = hem_match_serial_ordered(g, order);
+  EXPECT_EQ(a.match, b.match);
+  EXPECT_EQ(a.n_coarse, b.n_coarse);
+}
+
+TEST(HemMatching, MaximalOnCompleteGraph) {
+  // K6: a maximal matching pairs all 6 vertices.
+  GraphBuilder b(6);
+  for (vid_t u = 0; u < 6; ++u)
+    for (vid_t v = u + 1; v < 6; ++v) b.add_edge(u, v);
+  Rng rng(3);
+  const auto m = hem_match_serial(b.build(), rng);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_NE(m.match[static_cast<std::size_t>(v)], v);
+}
+
+TEST(HemMatching, HalvesGridSize) {
+  const auto g = grid2d_graph(32, 32);
+  Rng rng(5);
+  const auto m = hem_match_serial(g, rng);
+  // Grids match almost perfectly: coarse size close to n/2.
+  EXPECT_LT(m.n_coarse, static_cast<vid_t>(0.6 * 1024));
+  EXPECT_GE(m.n_coarse, 512);
+}
+
+TEST(Gggp, GrowsToTargetWeight) {
+  const auto g = grid2d_graph(16, 16);
+  Rng rng(2);
+  const auto bis = gggp_bisect(g, g.total_vertex_weight() / 2, rng);
+  EXPECT_EQ(bis.side.size(), 256u);
+  // Weight0 reaches at least the target (it stops after crossing it).
+  EXPECT_GE(bis.weight0, 128);
+  EXPECT_LE(bis.weight0, 128 + 32);  // overshoot bounded by max vwgt run
+  EXPECT_GT(bis.cut, 0);
+  EXPECT_EQ(bis.cut, bisection_cut(g, bis.side));
+}
+
+TEST(Fm, NeverWorsensCut) {
+  const auto g = grid2d_graph(20, 20);
+  Rng rng(4);
+  auto bis = gggp_bisect(g, g.total_vertex_weight() / 2, rng);
+  const wgt_t before = bis.cut;
+  auto st = fm_refine_bisection(g, bis.side, 180, 220);
+  EXPECT_EQ(st.cut_before, before);
+  EXPECT_LE(st.cut_after, before);
+  EXPECT_EQ(st.cut_after, bisection_cut(g, bis.side));
+}
+
+TEST(Fm, GridOptimalityQuality) {
+  // On a 16x16 grid the optimal bisection cut is 16; GGGP+FM should land
+  // well under 2x optimal.
+  const auto g = grid2d_graph(16, 16);
+  wgt_t best = 1 << 30;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    Rng rng(s);
+    auto bis = gggp_bisect(g, 128, rng);
+    fm_refine_bisection(g, bis.side, 120, 136);
+    best = std::min(best, bisection_cut(g, bis.side));
+  }
+  EXPECT_LE(best, 32);
+}
+
+TEST(Fm, RespectsBalanceWindow) {
+  const auto g = grid2d_graph(12, 12);
+  Rng rng(8);
+  auto bis = gggp_bisect(g, 72, rng);
+  fm_refine_bisection(g, bis.side, 65, 79);
+  wgt_t w0 = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    if (bis.side[static_cast<std::size_t>(v)] == 0) w0 += g.vertex_weight(v);
+  EXPECT_GE(w0, 65);
+  EXPECT_LE(w0, 79);
+}
+
+class RbK : public ::testing::TestWithParam<part_t> {};
+
+TEST_P(RbK, ProducesBalancedKParts) {
+  const part_t k = GetParam();
+  const auto g = grid2d_graph(32, 32);
+  Rng rng(1);
+  const auto p = recursive_bisection(g, k, 0.05, rng);
+  EXPECT_TRUE(validate_partition(g, p).empty());
+  // All parts non-empty.
+  auto pw = partition_weights(g, p);
+  for (const auto w : pw) EXPECT_GT(w, 0);
+  // Balance within a generous envelope (tolerance compounds slightly).
+  EXPECT_LE(partition_balance(g, p), 1.30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, RbK, ::testing::Values(2, 3, 4, 7, 8, 16));
+
+TEST(KwayRefine, ImprovesRandomPartition) {
+  const auto g = grid2d_graph(24, 24);
+  Partition p;
+  p.k = 4;
+  p.where.resize(static_cast<std::size_t>(g.num_vertices()));
+  Rng rng(6);
+  for (auto& w : p.where) w = static_cast<part_t>(rng.next_below(4));
+  const wgt_t before = edge_cut(g, p);
+  auto st = kway_refine_serial(g, p, 0.10, 12);
+  EXPECT_LT(st.cut_after, before);
+  EXPECT_EQ(st.cut_after, edge_cut(g, p));
+  EXPECT_TRUE(validate_partition(g, p).empty());
+}
+
+TEST(KwayRefine, KeepsBalanceInvariant) {
+  const auto g = grid2d_graph(24, 24);
+  Rng rng(7);
+  Partition p = recursive_bisection(g, 8, 0.03, rng);
+  const double bal_before = partition_balance(g, p);
+  kway_refine_serial(g, p, 0.03, 8);
+  const double bal_after = partition_balance(g, p);
+  // Refinement may not blow past the *integral* constraint it enforces
+  // (max part weight is a ceiling, so slightly looser than eps on small
+  // totals); allow it to inherit any pre-existing violation.
+  const double ideal = static_cast<double>(g.total_vertex_weight()) / 8.0;
+  const double integral_cap =
+      static_cast<double>(max_part_weight(g.total_vertex_weight(), 8, 0.03)) /
+      ideal;
+  EXPECT_LE(bal_after, std::max(integral_cap + 1e-9, bal_before + 1e-9));
+}
+
+TEST(KwayRefinePq, ImprovesAndAgreesWithRecount) {
+  const auto g = grid2d_graph(24, 24);
+  Partition p;
+  p.k = 4;
+  p.where.resize(static_cast<std::size_t>(g.num_vertices()));
+  Rng rng(9);
+  for (auto& w : p.where) w = static_cast<part_t>(rng.next_below(4));
+  const wgt_t before = edge_cut(g, p);
+  auto st = kway_refine_pq(g, p, 0.10, 12);
+  EXPECT_LT(st.cut_after, before);
+  EXPECT_EQ(st.cut_after, edge_cut(g, p));
+  EXPECT_TRUE(validate_partition(g, p).empty());
+}
+
+TEST(KwayRefinePq, NotWorseThanScanOrderTypically) {
+  // Gain-order processing should match or beat scan order on average.
+  wgt_t pq_sum = 0, scan_sum = 0;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    const auto g = delaunay_graph(2000, s);
+    Rng rng(s);
+    Partition base = recursive_bisection(g, 8, 0.05, rng);
+    for (vid_t v = 0; v < g.num_vertices(); v += 17) {
+      base.where[static_cast<std::size_t>(v)] = static_cast<part_t>(
+          (base.where[static_cast<std::size_t>(v)] + 1) % 8);
+    }
+    Partition a = base, b = base;
+    scan_sum += kway_refine_serial(g, a, 0.05, 8).cut_after;
+    pq_sum += kway_refine_pq(g, b, 0.05, 8).cut_after;
+  }
+  EXPECT_LE(pq_sum, scan_sum + scan_sum / 10);
+}
+
+TEST(SerialDriver, PqRefinementOptionEndToEnd) {
+  const auto g = delaunay_graph(4000, 4);
+  PartitionOptions opts;
+  opts.k = 8;
+  opts.pq_refinement = true;
+  const auto r = SerialMetisPartitioner().run(g, opts);
+  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_LE(r.balance, 1.15);
+}
+
+TEST(SerialDriver, PartitionsGridK8) {
+  const auto g = grid2d_graph(64, 64);
+  PartitionOptions opts;
+  opts.k = 8;
+  const auto r = SerialMetisPartitioner().run(g, opts);
+  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_EQ(r.cut, edge_cut(g, r.partition));
+  EXPECT_LE(r.balance, 1.12);
+  EXPECT_GT(r.coarsen_levels, 0);
+  EXPECT_GT(r.modeled_seconds, 0.0);
+  // Sanity: near-optimal k=8 grid cut is ~7*64 = 448; stay under 2.5x.
+  EXPECT_LT(r.cut, 1100);
+}
+
+TEST(SerialDriver, PartitionsDelaunayK16) {
+  const auto g = delaunay_graph(4000, 2);
+  PartitionOptions opts;
+  opts.k = 16;
+  const auto r = SerialMetisPartitioner().run(g, opts);
+  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_LE(r.balance, 1.15);
+  // Every part populated.
+  auto pw = partition_weights(g, r.partition);
+  for (const auto w : pw) EXPECT_GT(w, 0);
+}
+
+TEST(SerialDriver, PhaseBreakdownSumsToTotal) {
+  const auto g = grid2d_graph(48, 48);
+  PartitionOptions opts;
+  opts.k = 4;
+  const auto r = SerialMetisPartitioner().run(g, opts);
+  EXPECT_NEAR(r.phases.total(), r.modeled_seconds, 1e-9);
+}
+
+TEST(SerialDriver, DeterministicForFixedSeed) {
+  const auto g = grid2d_graph(32, 32);
+  PartitionOptions opts;
+  opts.k = 8;
+  opts.seed = 77;
+  const auto a = SerialMetisPartitioner().run(g, opts);
+  const auto b = SerialMetisPartitioner().run(g, opts);
+  EXPECT_EQ(a.partition.where, b.partition.where);
+  EXPECT_EQ(a.cut, b.cut);
+}
+
+TEST(SerialDriver, TinyGraphNoCoarsening) {
+  // Graph already below the coarsening target: driver must still work.
+  const auto g = grid2d_graph(4, 4);
+  PartitionOptions opts;
+  opts.k = 2;
+  const auto r = SerialMetisPartitioner().run(g, opts);
+  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_EQ(r.coarsen_levels, 0);
+}
+
+TEST(SerialDriver, FactoryName) {
+  EXPECT_EQ(make_serial_partitioner()->name(), "metis");
+}
+
+}  // namespace
+}  // namespace gp
