@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_baselines.dir/abl_baselines.cpp.o"
+  "CMakeFiles/abl_baselines.dir/abl_baselines.cpp.o.d"
+  "abl_baselines"
+  "abl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_contraction.dir/abl_contraction.cpp.o"
+  "CMakeFiles/abl_contraction.dir/abl_contraction.cpp.o.d"
+  "abl_contraction"
+  "abl_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_folding.dir/abl_folding.cpp.o"
+  "CMakeFiles/abl_folding.dir/abl_folding.cpp.o.d"
+  "abl_folding"
+  "abl_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

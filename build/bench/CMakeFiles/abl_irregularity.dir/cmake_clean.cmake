@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_irregularity.dir/abl_irregularity.cpp.o"
+  "CMakeFiles/abl_irregularity.dir/abl_irregularity.cpp.o.d"
+  "abl_irregularity"
+  "abl_irregularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_irregularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

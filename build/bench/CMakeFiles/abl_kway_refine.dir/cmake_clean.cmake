@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_kway_refine.dir/abl_kway_refine.cpp.o"
+  "CMakeFiles/abl_kway_refine.dir/abl_kway_refine.cpp.o.d"
+  "abl_kway_refine"
+  "abl_kway_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_kway_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

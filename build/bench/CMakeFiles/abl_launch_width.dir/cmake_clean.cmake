@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_launch_width.dir/abl_launch_width.cpp.o"
+  "CMakeFiles/abl_launch_width.dir/abl_launch_width.cpp.o.d"
+  "abl_launch_width"
+  "abl_launch_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_launch_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_match_policy.dir/abl_match_policy.cpp.o"
+  "CMakeFiles/abl_match_policy.dir/abl_match_policy.cpp.o.d"
+  "abl_match_policy"
+  "abl_match_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_match_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

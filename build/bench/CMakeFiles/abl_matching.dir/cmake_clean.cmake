@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_matching.dir/abl_matching.cpp.o"
+  "CMakeFiles/abl_matching.dir/abl_matching.cpp.o.d"
+  "abl_matching"
+  "abl_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multigpu.dir/abl_multigpu.cpp.o"
+  "CMakeFiles/abl_multigpu.dir/abl_multigpu.cpp.o.d"
+  "abl_multigpu"
+  "abl_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

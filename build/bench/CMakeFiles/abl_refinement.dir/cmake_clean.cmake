@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_refinement.dir/abl_refinement.cpp.o"
+  "CMakeFiles/abl_refinement.dir/abl_refinement.cpp.o.d"
+  "abl_refinement"
+  "abl_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scan.dir/abl_scan.cpp.o"
+  "CMakeFiles/abl_scan.dir/abl_scan.cpp.o.d"
+  "abl_scan"
+  "abl_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_speculative.dir/abl_speculative.cpp.o"
+  "CMakeFiles/abl_speculative.dir/abl_speculative.cpp.o.d"
+  "abl_speculative"
+  "abl_speculative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_phases.dir/fig1_phases.cpp.o"
+  "CMakeFiles/fig1_phases.dir/fig1_phases.cpp.o.d"
+  "fig1_phases"
+  "fig1_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_coalescing.dir/fig2_coalescing.cpp.o"
+  "CMakeFiles/fig2_coalescing.dir/fig2_coalescing.cpp.o.d"
+  "fig2_coalescing"
+  "fig2_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_edgecut.dir/table3_edgecut.cpp.o"
+  "CMakeFiles/table3_edgecut.dir/table3_edgecut.cpp.o.d"
+  "table3_edgecut"
+  "table3_edgecut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_edgecut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_repartition.dir/adaptive_repartition.cpp.o"
+  "CMakeFiles/example_adaptive_repartition.dir/adaptive_repartition.cpp.o.d"
+  "example_adaptive_repartition"
+  "example_adaptive_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

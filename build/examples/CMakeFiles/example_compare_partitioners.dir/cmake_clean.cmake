@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_partitioners.dir/compare_partitioners.cpp.o"
+  "CMakeFiles/example_compare_partitioners.dir/compare_partitioners.cpp.o.d"
+  "example_compare_partitioners"
+  "example_compare_partitioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

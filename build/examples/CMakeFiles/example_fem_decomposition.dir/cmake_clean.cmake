@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fem_decomposition.dir/fem_decomposition.cpp.o"
+  "CMakeFiles/example_fem_decomposition.dir/fem_decomposition.cpp.o.d"
+  "example_fem_decomposition"
+  "example_fem_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fem_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

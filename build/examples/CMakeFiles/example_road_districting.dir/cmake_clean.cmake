@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_road_districting.dir/road_districting.cpp.o"
+  "CMakeFiles/example_road_districting.dir/road_districting.cpp.o.d"
+  "example_road_districting"
+  "example_road_districting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_road_districting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sparse_solver_ordering.dir/sparse_solver_ordering.cpp.o"
+  "CMakeFiles/example_sparse_solver_ordering.dir/sparse_solver_ordering.cpp.o.d"
+  "example_sparse_solver_ordering"
+  "example_sparse_solver_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sparse_solver_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_sparse_solver_ordering.
+# This may be replaced when dependencies are built.

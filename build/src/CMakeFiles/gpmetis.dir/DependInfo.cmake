@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/nested_dissection.cpp" "src/CMakeFiles/gpmetis.dir/apps/nested_dissection.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/apps/nested_dissection.cpp.o.d"
+  "/root/repo/src/baselines/rcb.cpp" "src/CMakeFiles/gpmetis.dir/baselines/rcb.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/baselines/rcb.cpp.o.d"
+  "/root/repo/src/baselines/spectral.cpp" "src/CMakeFiles/gpmetis.dir/baselines/spectral.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/baselines/spectral.cpp.o.d"
+  "/root/repo/src/core/csr_graph.cpp" "src/CMakeFiles/gpmetis.dir/core/csr_graph.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/core/csr_graph.cpp.o.d"
+  "/root/repo/src/core/graph_ops.cpp" "src/CMakeFiles/gpmetis.dir/core/graph_ops.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/core/graph_ops.cpp.o.d"
+  "/root/repo/src/core/matching.cpp" "src/CMakeFiles/gpmetis.dir/core/matching.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/core/matching.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/gpmetis.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/CMakeFiles/gpmetis.dir/core/partitioner.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/core/partitioner.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/gpmetis.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/core/report.cpp.o.d"
+  "/root/repo/src/galois/gmetis_partitioner.cpp" "src/CMakeFiles/gpmetis.dir/galois/gmetis_partitioner.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/galois/gmetis_partitioner.cpp.o.d"
+  "/root/repo/src/galois/speculative.cpp" "src/CMakeFiles/gpmetis.dir/galois/speculative.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/galois/speculative.cpp.o.d"
+  "/root/repo/src/gen/basic_graphs.cpp" "src/CMakeFiles/gpmetis.dir/gen/basic_graphs.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/gen/basic_graphs.cpp.o.d"
+  "/root/repo/src/gen/delaunay.cpp" "src/CMakeFiles/gpmetis.dir/gen/delaunay.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/gen/delaunay.cpp.o.d"
+  "/root/repo/src/gen/paper_graphs.cpp" "src/CMakeFiles/gpmetis.dir/gen/paper_graphs.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/gen/paper_graphs.cpp.o.d"
+  "/root/repo/src/gpu/coalescing.cpp" "src/CMakeFiles/gpmetis.dir/gpu/coalescing.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/gpu/coalescing.cpp.o.d"
+  "/root/repo/src/gpu/device.cpp" "src/CMakeFiles/gpmetis.dir/gpu/device.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/gpu/device.cpp.o.d"
+  "/root/repo/src/hybrid/gp_partitioner.cpp" "src/CMakeFiles/gpmetis.dir/hybrid/gp_partitioner.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/hybrid/gp_partitioner.cpp.o.d"
+  "/root/repo/src/hybrid/gpu_contract.cpp" "src/CMakeFiles/gpmetis.dir/hybrid/gpu_contract.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/hybrid/gpu_contract.cpp.o.d"
+  "/root/repo/src/hybrid/gpu_matching.cpp" "src/CMakeFiles/gpmetis.dir/hybrid/gpu_matching.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/hybrid/gpu_matching.cpp.o.d"
+  "/root/repo/src/hybrid/gpu_refine.cpp" "src/CMakeFiles/gpmetis.dir/hybrid/gpu_refine.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/hybrid/gpu_refine.cpp.o.d"
+  "/root/repo/src/hybrid/multi_gpu_partitioner.cpp" "src/CMakeFiles/gpmetis.dir/hybrid/multi_gpu_partitioner.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/hybrid/multi_gpu_partitioner.cpp.o.d"
+  "/root/repo/src/io/binary_io.cpp" "src/CMakeFiles/gpmetis.dir/io/binary_io.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/io/binary_io.cpp.o.d"
+  "/root/repo/src/io/dimacs_io.cpp" "src/CMakeFiles/gpmetis.dir/io/dimacs_io.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/io/dimacs_io.cpp.o.d"
+  "/root/repo/src/io/metis_io.cpp" "src/CMakeFiles/gpmetis.dir/io/metis_io.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/io/metis_io.cpp.o.d"
+  "/root/repo/src/model/machine_model.cpp" "src/CMakeFiles/gpmetis.dir/model/machine_model.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/model/machine_model.cpp.o.d"
+  "/root/repo/src/mt/mt_contract.cpp" "src/CMakeFiles/gpmetis.dir/mt/mt_contract.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/mt/mt_contract.cpp.o.d"
+  "/root/repo/src/mt/mt_initpart.cpp" "src/CMakeFiles/gpmetis.dir/mt/mt_initpart.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/mt/mt_initpart.cpp.o.d"
+  "/root/repo/src/mt/mt_matching.cpp" "src/CMakeFiles/gpmetis.dir/mt/mt_matching.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/mt/mt_matching.cpp.o.d"
+  "/root/repo/src/mt/mt_partitioner.cpp" "src/CMakeFiles/gpmetis.dir/mt/mt_partitioner.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/mt/mt_partitioner.cpp.o.d"
+  "/root/repo/src/mt/mt_refine.cpp" "src/CMakeFiles/gpmetis.dir/mt/mt_refine.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/mt/mt_refine.cpp.o.d"
+  "/root/repo/src/par/comm.cpp" "src/CMakeFiles/gpmetis.dir/par/comm.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/par/comm.cpp.o.d"
+  "/root/repo/src/par/parmetis_partitioner.cpp" "src/CMakeFiles/gpmetis.dir/par/parmetis_partitioner.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/par/parmetis_partitioner.cpp.o.d"
+  "/root/repo/src/serial/bisection.cpp" "src/CMakeFiles/gpmetis.dir/serial/bisection.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/serial/bisection.cpp.o.d"
+  "/root/repo/src/serial/hem_matching.cpp" "src/CMakeFiles/gpmetis.dir/serial/hem_matching.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/serial/hem_matching.cpp.o.d"
+  "/root/repo/src/serial/jostle_partitioner.cpp" "src/CMakeFiles/gpmetis.dir/serial/jostle_partitioner.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/serial/jostle_partitioner.cpp.o.d"
+  "/root/repo/src/serial/kway_refine.cpp" "src/CMakeFiles/gpmetis.dir/serial/kway_refine.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/serial/kway_refine.cpp.o.d"
+  "/root/repo/src/serial/metis_partitioner.cpp" "src/CMakeFiles/gpmetis.dir/serial/metis_partitioner.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/serial/metis_partitioner.cpp.o.d"
+  "/root/repo/src/serial/rb_partition.cpp" "src/CMakeFiles/gpmetis.dir/serial/rb_partition.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/serial/rb_partition.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/gpmetis.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/gpmetis.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gpmetis.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

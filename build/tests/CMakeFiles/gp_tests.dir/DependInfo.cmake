@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/gp_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_coalescing_and_edge_cases.cpp" "tests/CMakeFiles/gp_tests.dir/test_coalescing_and_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_coalescing_and_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_core_graph.cpp" "tests/CMakeFiles/gp_tests.dir/test_core_graph.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_core_graph.cpp.o.d"
+  "/root/repo/tests/test_galois.cpp" "tests/CMakeFiles/gp_tests.dir/test_galois.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_galois.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/gp_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_gpu_device.cpp" "tests/CMakeFiles/gp_tests.dir/test_gpu_device.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_gpu_device.cpp.o.d"
+  "/root/repo/tests/test_hybrid_partitioner.cpp" "tests/CMakeFiles/gp_tests.dir/test_hybrid_partitioner.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_hybrid_partitioner.cpp.o.d"
+  "/root/repo/tests/test_invariants_extra.cpp" "tests/CMakeFiles/gp_tests.dir/test_invariants_extra.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_invariants_extra.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/gp_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_io_binary_report.cpp" "tests/CMakeFiles/gp_tests.dir/test_io_binary_report.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_io_binary_report.cpp.o.d"
+  "/root/repo/tests/test_jostle.cpp" "tests/CMakeFiles/gp_tests.dir/test_jostle.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_jostle.cpp.o.d"
+  "/root/repo/tests/test_match_policy.cpp" "tests/CMakeFiles/gp_tests.dir/test_match_policy.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_match_policy.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/gp_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_mt_partitioner.cpp" "tests/CMakeFiles/gp_tests.dir/test_mt_partitioner.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_mt_partitioner.cpp.o.d"
+  "/root/repo/tests/test_multi_gpu.cpp" "tests/CMakeFiles/gp_tests.dir/test_multi_gpu.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_multi_gpu.cpp.o.d"
+  "/root/repo/tests/test_nested_dissection.cpp" "tests/CMakeFiles/gp_tests.dir/test_nested_dissection.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_nested_dissection.cpp.o.d"
+  "/root/repo/tests/test_options_validation.cpp" "tests/CMakeFiles/gp_tests.dir/test_options_validation.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_options_validation.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/gp_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/gp_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_par_partitioner.cpp" "tests/CMakeFiles/gp_tests.dir/test_par_partitioner.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_par_partitioner.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_serial_partitioner.cpp" "tests/CMakeFiles/gp_tests.dir/test_serial_partitioner.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_serial_partitioner.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/gp_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/gp_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpmetis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

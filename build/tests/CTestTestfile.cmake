@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(gp_tests "/root/repo/build/tests/gp_tests")
+set_tests_properties(gp_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/example_quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_fem "/root/repo/build/examples/example_fem_decomposition" "8")
+set_tests_properties(example_fem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_roads "/root/repo/build/examples/example_road_districting" "5000" "4")
+set_tests_properties(example_roads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_compare "/root/repo/build/examples/example_compare_partitioners" "delaunay" "8" "0.002")
+set_tests_properties(example_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_ordering "/root/repo/build/examples/example_sparse_solver_ordering" "16")
+set_tests_properties(example_ordering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_repartition "/root/repo/build/examples/example_adaptive_repartition" "8000" "4")
+set_tests_properties(example_repartition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(table1_smoke "/root/repo/build/bench/table1_graphs" "--scale" "0.001")
+set_tests_properties(table1_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;17;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gpmetis_cli_smoke "/root/repo/build/tools/gpmetis" "/root/repo/build/tiny.graph" "2" "--system" "metis" "--report" "--out" "/root/repo/build/tiny.part.2")
+set_tests_properties(gpmetis_cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gpmetis_cli_multi_smoke "/root/repo/build/tools/gpmetis" "/root/repo/build/tiny.graph" "2" "--system" "gp-metis-multi" "--devices" "2" "--out" "/root/repo/build/tiny.part.2b")
+set_tests_properties(gpmetis_cli_multi_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")

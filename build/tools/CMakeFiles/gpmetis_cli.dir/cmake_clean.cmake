@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpmetis_cli.dir/gpmetis_cli.cpp.o"
+  "CMakeFiles/gpmetis_cli.dir/gpmetis_cli.cpp.o.d"
+  "gpmetis"
+  "gpmetis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpmetis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

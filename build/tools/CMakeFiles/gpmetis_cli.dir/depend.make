@@ -1,0 +1,2 @@
+# Empty dependencies file for gpmetis_cli.
+# This may be replaced when dependencies are built.
