@@ -28,6 +28,15 @@ void validate_options(const CsrGraph& g, const PartitionOptions& opts) {
   if (opts.refine_passes < 0) {
     throw std::invalid_argument("refine_passes must be >= 0");
   }
+  if (!opts.fault_spec.empty()) {
+    (void)FaultPlan::parse(opts.fault_spec);  // throws on syntax errors
+  }
+}
+
+std::unique_ptr<FaultInjector> PartitionOptions::make_fault_injector() const {
+  if (fault_spec.empty()) return nullptr;
+  return std::make_unique<FaultInjector>(fault_seed,
+                                         FaultPlan::parse(fault_spec));
 }
 
 }  // namespace gp

@@ -11,6 +11,7 @@
 #include "core/csr_graph.hpp"
 #include "core/partition.hpp"
 #include "model/machine_model.hpp"
+#include "util/fault.hpp"
 #include "util/types.hpp"
 
 namespace gp {
@@ -64,6 +65,21 @@ struct PartitionOptions {
   /// work, implemented in src/hybrid/multi_gpu_partitioner).  The
   /// single-device GP-metis ignores this.
   int gpu_devices = 2;
+  /// Host worker threads per simulated device (0 = the device default).
+  /// Tests set 1 for bit-deterministic kernel execution.
+  int gpu_host_workers = 0;
+
+  // --- fault injection (src/util/fault.hpp) ---
+  /// Fault schedule, e.g. "alloc@3;kernel:p=0.01;device1:lost".  Empty =
+  /// no injection and zero overhead; parse errors throw invalid_argument.
+  std::string fault_spec;
+  /// Seed for probabilistic fault rules (independent of `seed` so the
+  /// same partitioning run can be replayed under different schedules).
+  std::uint64_t fault_seed = 0;
+
+  /// Builds the injector for this run, or nullptr when fault_spec is
+  /// empty (implemented in partitioner.cpp).
+  [[nodiscard]] std::unique_ptr<FaultInjector> make_fault_injector() const;
 
   [[nodiscard]] vid_t coarsen_target() const {
     const vid_t metis_rule = 30 * k;
@@ -102,6 +118,9 @@ struct PartitionResult {
   CostLedger   ledger;         ///< full metered breakdown
   int          coarsen_levels = 0;
   vid_t        coarsest_vertices = 0;
+
+  /// Fault/degradation record of this run (default: healthy, no faults).
+  RunHealth    health;
 };
 
 /// Validates (graph, options) preconditions shared by every partitioner:

@@ -63,12 +63,41 @@ std::string format_report(const PartitionReport& report, bool per_part_rows) {
 }
 
 std::string summarize_result(const PartitionResult& r) {
-  char buf[200];
+  char buf[240];
   std::snprintf(buf, sizeof(buf),
                 "cut=%lld balance=%.4f levels=%d modeled=%.4fs wall=%.4fs",
                 static_cast<long long>(r.cut), r.balance, r.coarsen_levels,
                 r.modeled_seconds, r.wall_seconds);
-  return buf;
+  std::string out = buf;
+  if (r.health.degraded) {
+    std::snprintf(buf, sizeof(buf),
+                  " DEGRADED(faults=%llu retries=%llu fallbacks=%llu)",
+                  static_cast<unsigned long long>(r.health.faults_injected),
+                  static_cast<unsigned long long>(r.health.gpu_retries),
+                  static_cast<unsigned long long>(r.health.fallbacks));
+    out += buf;
+  }
+  return out;
+}
+
+std::string format_health(const RunHealth& h) {
+  std::ostringstream os;
+  char buf[240];
+  std::snprintf(
+      buf, sizeof(buf),
+      "health: %s | faults %llu | gpu retries %llu | devices lost %llu | "
+      "msgs dropped %llu / resent %llu | match repairs %llu | fallbacks %llu\n",
+      h.degraded ? "DEGRADED" : "ok",
+      static_cast<unsigned long long>(h.faults_injected),
+      static_cast<unsigned long long>(h.gpu_retries),
+      static_cast<unsigned long long>(h.devices_lost),
+      static_cast<unsigned long long>(h.messages_dropped),
+      static_cast<unsigned long long>(h.messages_resent),
+      static_cast<unsigned long long>(h.match_repairs),
+      static_cast<unsigned long long>(h.fallbacks));
+  os << buf;
+  for (const auto& e : h.events) os << "  " << e << "\n";
+  return os.str();
 }
 
 }  // namespace gp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/log.hpp"
 #include "util/stats.hpp"
 
 namespace gp {
@@ -12,34 +13,63 @@ Device::Device() : Device(Config{}) {}
 Device::Device(Config config)
     : config_(config), pool_(std::max(1, config.host_workers)) {}
 
+void Device::check_fault(FaultSite site, const std::string& what) {
+  if (!injector_) return;
+  switch (injector_->on_device_op(device_id_, site)) {
+    case FaultInjector::Action::kNone:
+      return;
+    case FaultInjector::Action::kOom:
+      throw DeviceOutOfMemory("injected allocation fault: " + what,
+                              device_id_);
+    case FaultInjector::Action::kFail:
+      throw DeviceFailure("injected " + std::string(fault_site_name(site)) +
+                              " fault on device " +
+                              std::to_string(device_id_) + ": " + what,
+                          device_id_);
+  }
+}
+
 void Device::on_alloc(std::size_t bytes) {
+  check_fault(FaultSite::kAlloc, std::to_string(bytes) + " bytes");
   if (allocated_ + bytes > config_.memory_bytes) {
     throw DeviceOutOfMemory("device allocation of " + std::to_string(bytes) +
-                            " bytes exceeds capacity (" +
-                            std::to_string(allocated_) + " of " +
-                            std::to_string(config_.memory_bytes) +
-                            " bytes in use)");
+                                " bytes exceeds capacity (" +
+                                std::to_string(allocated_) + " of " +
+                                std::to_string(config_.memory_bytes) +
+                                " bytes in use)",
+                            device_id_);
   }
   allocated_ += bytes;
   peak_ = std::max(peak_, allocated_);
 }
 
 void Device::on_free(std::size_t bytes) noexcept {
+  if (bytes > allocated_) {
+    // A free larger than the outstanding allocation means device code
+    // double-freed (or the accounting was corrupted) — clamping silently
+    // would hide the bug.
+    log_warn("device %d: freeing %zu bytes with only %zu allocated "
+             "(double free?)",
+             device_id_, bytes, allocated_);
+  }
   allocated_ -= std::min(allocated_, bytes);
 }
 
 void Device::meter_h2d(std::size_t bytes, const std::string& label) {
+  check_fault(FaultSite::kH2D, label);
   h2d_bytes_ += bytes;
   if (ledger_) ledger_->charge_transfer("transfer/h2d/" + label, bytes);
 }
 
 void Device::meter_d2h(std::size_t bytes, const std::string& label) {
+  check_fault(FaultSite::kD2H, label);
   d2h_bytes_ += bytes;
   if (ledger_) ledger_->charge_transfer("transfer/d2h/" + label, bytes);
 }
 
 void Device::launch(const std::string& label, std::int64_t n_threads,
                     const std::function<std::uint64_t(std::int64_t)>& body) {
+  check_fault(FaultSite::kKernel, label);
   ++kernels_;
   if (n_threads <= 0) {
     if (ledger_) ledger_->charge_gpu_kernel("kernel/" + label, 0, 1.0);

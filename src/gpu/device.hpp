@@ -28,14 +28,35 @@
 #include <vector>
 
 #include "model/machine_model.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gp {
 
 class DeviceOutOfMemory : public std::runtime_error {
  public:
-  explicit DeviceOutOfMemory(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit DeviceOutOfMemory(const std::string& what, int device_id = 0)
+      : std::runtime_error(what), device_id_(device_id) {}
+
+  [[nodiscard]] int device_id() const { return device_id_; }
+
+ private:
+  int device_id_ = 0;
+};
+
+/// A non-memory device fault: a failed kernel launch, a failed transfer,
+/// or any operation on a device that has been lost (multi-GPU future-work
+/// scenario).  Distinct from DeviceOutOfMemory so degradation policies can
+/// tell "shrink the working set" apart from "stop using this device".
+class DeviceFailure : public std::runtime_error {
+ public:
+  explicit DeviceFailure(const std::string& what, int device_id = 0)
+      : std::runtime_error(what), device_id_(device_id) {}
+
+  [[nodiscard]] int device_id() const { return device_id_; }
+
+ private:
+  int device_id_ = 0;
 };
 
 class Device {
@@ -58,6 +79,15 @@ class Device {
   /// Attaches a ledger; all subsequent launches/transfers charge to it.
   void set_ledger(CostLedger* ledger) { ledger_ = ledger; }
   [[nodiscard]] CostLedger* ledger() const { return ledger_; }
+
+  /// Attaches a fault injector; `device_id` identifies this device in the
+  /// fault plan (`deviceN:lost` rules).  nullptr disables injection — the
+  /// default, with zero overhead on every operation.
+  void set_fault_injector(FaultInjector* injector, int device_id = 0) {
+    injector_ = injector;
+    device_id_ = device_id;
+  }
+  [[nodiscard]] int device_id() const { return device_id_; }
 
   // --- memory accounting (called by DeviceBuffer) ---
   void on_alloc(std::size_t bytes);
@@ -91,9 +121,15 @@ class Device {
   void reset_counters();
 
  private:
+  /// Consults the injector (if any) for this operation; throws
+  /// DeviceOutOfMemory / DeviceFailure when a fault fires.
+  void check_fault(FaultSite site, const std::string& what);
+
   Config        config_;
   ThreadPool    pool_;
   CostLedger*   ledger_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  int           device_id_ = 0;
   std::size_t   allocated_ = 0;
   std::size_t   peak_ = 0;
   std::uint64_t h2d_bytes_ = 0;

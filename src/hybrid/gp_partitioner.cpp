@@ -12,17 +12,47 @@
 
 namespace gp {
 
-PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
-                             GpPhaseLog* log) {
-  validate_options(g, opts);
-  WallTimer wall;
-  PartitionResult res;
+namespace {
+
+/// Modeled cost of recovering from a device fault before a retry: the
+/// driver tears the context down and re-establishes it (cudaDeviceReset +
+/// re-init is milliseconds on real hardware).
+constexpr double kDeviceResetSeconds = 2e-3;
+
+/// Bounded GPU retries before degrading to a pure mt-metis run.
+constexpr int kMaxGpuAttempts = 3;
+
+/// Fills the phase roll-up shared by the GPU and the fallback paths.
+/// Retried attempts' charges stay in the ledger, so degraded runs show
+/// their wasted work here.
+void fill_phase_seconds(PartitionResult& res) {
+  res.phases.transfer = res.ledger.seconds_with_prefix("transfer/");
+  res.phases.coarsen = res.ledger.seconds_with_prefix("kernel/coarsen/") +
+                       res.ledger.seconds_with_prefix("coarsen/");
+  res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");
+  res.phases.uncoarsen =
+      res.ledger.seconds_with_prefix("kernel/uncoarsen/") +
+      res.ledger.seconds_with_prefix("uncoarsen/");
+}
+
+/// One full GPU-coarsen / CPU-middle / GPU-uncoarsen attempt.  Throws
+/// DeviceOutOfMemory / DeviceFailure when the device gives out; the
+/// driver below owns the retry and fallback policy.  `handoff` is the
+/// level size at which the GPU hands the graph to the CPU engine — the
+/// retry ladder raises it to shrink the device working set.
+void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
+                      GpPhaseLog* log, vid_t handoff, FaultInjector* injector,
+                      PartitionResult& res) {
   Device::Config dev_config;  // GTX-Titan-like simulated device
   if (opts.gpu_memory_bytes > 0) {
     dev_config.memory_bytes = opts.gpu_memory_bytes;
   }
+  if (opts.gpu_host_workers > 0) {
+    dev_config.host_workers = opts.gpu_host_workers;
+  }
   Device dev(dev_config);
   dev.set_ledger(&res.ledger);
+  dev.set_fault_injector(injector, 0);
 
   struct GpuLevel {
     GpuGraph graph;              // coarse graph at this level (device)
@@ -35,8 +65,6 @@ PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
   GpuGraph g0 = GpuGraph::upload(dev, g, "G0");
 
   // ---- 2. GPU coarsening until the threshold level ----
-  const vid_t handoff = std::max<vid_t>(opts.gpu_cpu_threshold,
-                                        opts.coarsen_target());
   const GpuGraph* cur = &g0;
   int lvl = 0;
   std::uint64_t total_conflicts = 0;
@@ -100,17 +128,8 @@ PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
 
   res.cut = edge_cut(g, res.partition);
   res.balance = partition_balance(g, res.partition);
-  res.modeled_seconds = res.ledger.total_seconds();
   res.coarsen_levels = gpu_lvls + mt_out.levels;
   res.coarsest_vertices = mt_out.coarsest_vertices;
-  res.phases.transfer = res.ledger.seconds_with_prefix("transfer/");
-  res.phases.coarsen = res.ledger.seconds_with_prefix("kernel/coarsen/") +
-                       res.ledger.seconds_with_prefix("coarsen/");
-  res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");
-  res.phases.uncoarsen =
-      res.ledger.seconds_with_prefix("kernel/uncoarsen/") +
-      res.ledger.seconds_with_prefix("uncoarsen/");
-  res.wall_seconds = wall.seconds();
 
   if (log) {
     log->gpu_coarsen_levels = gpu_lvls;
@@ -120,6 +139,102 @@ PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
     log->d2h_bytes = dev.total_d2h_bytes();
     log->match_conflicts = total_conflicts;
   }
+}
+
+/// Terminal degradation: the whole multilevel pipeline on the CPU engine
+/// (exactly what GP-metis already does below the threshold level, applied
+/// to the entire graph).  Charges land in the same ledger, after whatever
+/// the failed GPU attempts already spent.
+void pure_cpu_fallback(const CsrGraph& g, const PartitionOptions& opts,
+                       GpPhaseLog* log, PartitionResult& res) {
+  ThreadPool pool(opts.threads);
+  MtContext ctx{&pool, &res.ledger, opts.seed};
+  auto out = mt_multilevel_pipeline(g, opts, ctx, 0);
+  res.partition = std::move(out.partition);
+  res.partition.k = opts.k;
+  res.cut = edge_cut(g, res.partition);
+  res.balance = partition_balance(g, res.partition);
+  res.coarsen_levels = out.levels;
+  res.coarsest_vertices = out.coarsest_vertices;
+  if (log) {
+    log->gpu_coarsen_levels = 0;
+    log->cpu_levels = out.levels;
+    log->handoff_vertices = g.num_vertices();
+  }
+}
+
+}  // namespace
+
+PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
+                             GpPhaseLog* log) {
+  validate_options(g, opts);
+  WallTimer wall;
+  PartitionResult res;
+  const std::unique_ptr<FaultInjector> injector = opts.make_fault_injector();
+
+  vid_t handoff = std::max<vid_t>(opts.gpu_cpu_threshold,
+                                  opts.coarsen_target());
+  bool gpu_ok = false;
+  int attempts = 0;
+  while (!gpu_ok && attempts < kMaxGpuAttempts) {
+    if (log) {
+      const int kept_attempts = attempts;
+      *log = GpPhaseLog{};  // a failed attempt's partial trail is stale
+      log->attempts = kept_attempts;
+    }
+    ++attempts;
+    try {
+      gp_metis_attempt(g, opts, log, handoff, injector.get(), res);
+      gpu_ok = true;
+    } catch (const DeviceOutOfMemory& e) {
+      res.health.gpu_retries += 1;
+      res.health.degraded = true;
+      res.ledger.charge_raw("fault/device-reset", kDeviceResetSeconds);
+      // Shrink the device working set by handing off to the CPU earlier.
+      // Once the handoff covers the whole graph the GPU does no level at
+      // all, so further retries cannot help — degrade to pure CPU.
+      if (handoff >= g.num_vertices()) {
+        res.health.note(std::string("gp-metis: OOM with nothing left on the "
+                                    "GPU (") + e.what() + ")");
+        break;
+      }
+      const vid_t raised = handoff > g.num_vertices() / 4
+                               ? g.num_vertices()
+                               : handoff * 4;
+      res.health.note("gp-metis: OOM (" + std::string(e.what()) +
+                      "); retrying with CPU handoff at " +
+                      std::to_string(raised) + " vertices");
+      log_warn("gp-metis: device OOM, raising CPU handoff %d -> %d",
+               handoff, raised);
+      handoff = raised;
+    } catch (const DeviceFailure& e) {
+      res.health.gpu_retries += 1;
+      res.health.degraded = true;
+      res.ledger.charge_raw("fault/device-reset", kDeviceResetSeconds);
+      res.health.note("gp-metis: device failure (" + std::string(e.what()) +
+                      "); retrying");
+      log_warn("gp-metis: device failure, retrying (attempt %d): %s",
+               attempts, e.what());
+    }
+  }
+  if (!gpu_ok) {
+    res.health.fallbacks += 1;
+    res.health.degraded = true;
+    res.health.note("gp-metis: GPU attempts exhausted; degrading to a pure "
+                    "mt-metis run");
+    log_warn("gp-metis: degrading to pure mt-metis after %d GPU attempts",
+             attempts);
+    if (log) *log = GpPhaseLog{};
+    pure_cpu_fallback(g, opts, log, res);
+  }
+  if (injector) injector->report_into(res.health);
+  if (log) {
+    log->attempts = attempts;
+    log->cpu_fallback = !gpu_ok;
+  }
+  fill_phase_seconds(res);
+  res.modeled_seconds = res.ledger.total_seconds();
+  res.wall_seconds = wall.seconds();
   return res;
 }
 

@@ -9,6 +9,7 @@
 #include "gpu/device_buffer.hpp"
 #include "gpu/scan.hpp"
 #include "mt/mt_partitioner.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -101,24 +102,36 @@ struct HostMoveRequest {
   wgt_t  gain;
 };
 
-}  // namespace
+/// Modeled cost of tearing down and re-establishing the device contexts
+/// after a fault, before the vertex blocks are redistributed.
+constexpr double kDeviceResetSeconds = 2e-3;
 
-PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
-                              MultiGpuLog* log) {
-  validate_options(g, opts);
-  WallTimer wall;
-  PartitionResult res;
-  const int D = std::max(1, opts.gpu_devices);
+/// Bounded OOM retries (each raises the CPU handoff) before the run
+/// degrades to a pure mt-metis fallback.
+constexpr int kMaxOomRetries = 2;
+
+/// One full multi-device attempt over the surviving physical devices
+/// listed in `phys`.  Throws DeviceOutOfMemory / DeviceFailure (tagged
+/// with the physical device id); the driver below owns the
+/// redistribution / retry / fallback policy.
+void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
+                       MultiGpuLog* log, const std::vector<int>& phys,
+                       vid_t handoff, FaultInjector* injector,
+                       PartitionResult& res) {
+  const int D = static_cast<int>(phys.size());
 
   // One simulated device per GPU, each with its own ledger so stages can
   // be rolled up as max-over-devices.
   Device::Config dc;
   if (opts.gpu_memory_bytes > 0) dc.memory_bytes = opts.gpu_memory_bytes;
+  if (opts.gpu_host_workers > 0) dc.host_workers = opts.gpu_host_workers;
   std::vector<std::unique_ptr<Device>> devices;
   std::vector<CostLedger> dev_ledgers(static_cast<std::size_t>(D));
   for (int d = 0; d < D; ++d) {
     devices.push_back(std::make_unique<Device>(dc));
     devices.back()->set_ledger(&dev_ledgers[static_cast<std::size_t>(d)]);
+    devices.back()->set_fault_injector(injector,
+                                       phys[static_cast<std::size_t>(d)]);
   }
 
   // ---- initial block split + shard upload ----
@@ -176,8 +189,6 @@ PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
   }
 
   // ---- multi-device coarsening ----
-  const vid_t handoff =
-      std::max<vid_t>(opts.gpu_cpu_threshold, opts.coarsen_target());
   std::uint64_t halo_bytes = 0;
   int lvl = 0;
   std::int64_t launch_threads = opts.gpu_threads;
@@ -757,17 +768,8 @@ PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
   res.partition.where = std::move(where);
   res.cut = edge_cut(g, res.partition);
   res.balance = partition_balance(g, res.partition);
-  res.modeled_seconds = res.ledger.total_seconds();
   res.coarsen_levels = gpu_lvls + mt_out.levels;
   res.coarsest_vertices = mt_out.coarsest_vertices;
-  res.phases.transfer = res.ledger.seconds_with_prefix("transfer/");
-  res.phases.coarsen = res.ledger.seconds_with_prefix("kernel/coarsen/") +
-                       res.ledger.seconds_with_prefix("coarsen/");
-  res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");
-  res.phases.uncoarsen =
-      res.ledger.seconds_with_prefix("kernel/uncoarsen/") +
-      res.ledger.seconds_with_prefix("uncoarsen/");
-  res.wall_seconds = wall.seconds();
 
   if (log) {
     log->devices = D;
@@ -778,6 +780,101 @@ PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
     log->halo_exchange_bytes = halo_bytes;
     log->refine_replay_moves = replay_moves;
   }
+}
+
+}  // namespace
+
+PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
+                              MultiGpuLog* log) {
+  validate_options(g, opts);
+  WallTimer wall;
+  PartitionResult res;
+  const std::unique_ptr<FaultInjector> injector = opts.make_fault_injector();
+
+  // Surviving physical devices.  A lost device is excluded and the vertex
+  // blocks are redistributed over the remainder — the vtxdist rebuild at
+  // the top of the attempt IS the redistribution (per-device blocks are
+  // recomputed over the survivors).
+  std::vector<int> phys(static_cast<std::size_t>(std::max(1, opts.gpu_devices)));
+  std::iota(phys.begin(), phys.end(), 0);
+
+  vid_t handoff =
+      std::max<vid_t>(opts.gpu_cpu_threshold, opts.coarsen_target());
+  const int max_attempts =
+      static_cast<int>(phys.size()) + kMaxOomRetries + 1;
+  bool gpu_ok = false;
+  int attempts = 0;
+  int oom_retries = 0;
+  while (!gpu_ok && !phys.empty() && attempts < max_attempts) {
+    if (log) *log = MultiGpuLog{};
+    ++attempts;
+    try {
+      multi_gpu_attempt(g, opts, log, phys, handoff, injector.get(), res);
+      gpu_ok = true;
+    } catch (const DeviceFailure& e) {
+      res.health.degraded = true;
+      res.ledger.charge_raw("fault/device-reset", kDeviceResetSeconds);
+      const auto it = std::find(phys.begin(), phys.end(), e.device_id());
+      if (it != phys.end()) phys.erase(it);
+      res.health.note("gp-metis-multi: device " +
+                      std::to_string(e.device_id()) + " failed (" + e.what() +
+                      "); redistributing over " +
+                      std::to_string(phys.size()) + " surviving device(s)");
+      log_warn("gp-metis-multi: lost device %d, %zu survive: %s",
+               e.device_id(), phys.size(), e.what());
+    } catch (const DeviceOutOfMemory& e) {
+      res.health.gpu_retries += 1;
+      res.health.degraded = true;
+      res.ledger.charge_raw("fault/device-reset", kDeviceResetSeconds);
+      if (++oom_retries > kMaxOomRetries || handoff >= g.num_vertices()) {
+        res.health.note("gp-metis-multi: OOM retries exhausted (" +
+                        std::string(e.what()) + ")");
+        break;
+      }
+      const vid_t raised = handoff > g.num_vertices() / 4
+                               ? g.num_vertices()
+                               : handoff * 4;
+      res.health.note("gp-metis-multi: OOM (" + std::string(e.what()) +
+                      "); retrying with CPU handoff at " +
+                      std::to_string(raised) + " vertices");
+      log_warn("gp-metis-multi: device OOM, raising CPU handoff %d -> %d",
+               handoff, raised);
+      handoff = raised;
+    }
+  }
+  if (!gpu_ok) {
+    res.health.fallbacks += 1;
+    res.health.degraded = true;
+    res.health.note("gp-metis-multi: no usable GPU path; degrading to a "
+                    "pure mt-metis run");
+    log_warn("gp-metis-multi: degrading to pure mt-metis after %d attempts",
+             attempts);
+    if (log) *log = MultiGpuLog{};
+    ThreadPool pool(opts.threads);
+    MtContext ctx{&pool, &res.ledger, opts.seed};
+    auto out = mt_multilevel_pipeline(g, opts, ctx, 0);
+    res.partition = std::move(out.partition);
+    res.partition.k = opts.k;
+    res.cut = edge_cut(g, res.partition);
+    res.balance = partition_balance(g, res.partition);
+    res.coarsen_levels = out.levels;
+    res.coarsest_vertices = out.coarsest_vertices;
+  }
+  if (injector) injector->report_into(res.health);
+  if (log) {
+    log->attempts = attempts;
+    log->cpu_fallback = !gpu_ok;
+    log->devices_lost = static_cast<int>(res.health.devices_lost);
+  }
+  res.phases.transfer = res.ledger.seconds_with_prefix("transfer/");
+  res.phases.coarsen = res.ledger.seconds_with_prefix("kernel/coarsen/") +
+                       res.ledger.seconds_with_prefix("coarsen/");
+  res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");
+  res.phases.uncoarsen =
+      res.ledger.seconds_with_prefix("kernel/uncoarsen/") +
+      res.ledger.seconds_with_prefix("uncoarsen/");
+  res.modeled_seconds = res.ledger.total_seconds();
+  res.wall_seconds = wall.seconds();
   return res;
 }
 

@@ -37,6 +37,10 @@ struct MultiGpuLog {
   std::size_t peak_device_bytes = 0;  ///< max over devices of peak usage
   std::uint64_t halo_exchange_bytes = 0;
   std::uint64_t refine_replay_moves = 0;
+  // Degradation trail (mirrors PartitionResult::health for quick checks).
+  int  attempts = 0;         ///< multi-GPU attempts made (1 = clean first try)
+  int  devices_lost = 0;     ///< devices excluded after injected failures
+  bool cpu_fallback = false; ///< true when the run degraded to pure mt-metis
 };
 
 PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,

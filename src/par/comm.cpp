@@ -11,7 +11,21 @@ SimComm::SimComm(int ranks, ThreadPool& pool, CostLedger* ledger)
 void SimComm::superstep(
     const std::string& label,
     const std::function<std::uint64_t(int, Mailbox&)>& fn) {
+  const std::uint64_t step = steps_;
   ++steps_;
+  if (injector_) {
+    // Fail-stop detection at the step barrier: a dead rank cannot make
+    // progress, so the collective superstep aborts cleanly rather than
+    // computing with silently missing contributions.
+    for (int r = 0; r < ranks_; ++r) {
+      if (injector_->rank_failed(r, step)) {
+        injector_->record_rank_failure(r, step);
+        throw CommFailure("rank " + std::to_string(r) +
+                          " fail-stopped at superstep " +
+                          std::to_string(step) + " (" + label + ")");
+      }
+    }
+  }
   // Deliver last superstep's mail and hand each rank its mailbox.
   std::vector<std::vector<SimMessage>> inboxes = std::move(pending_);
   inboxes.resize(static_cast<std::size_t>(ranks_));
@@ -40,11 +54,18 @@ void SimComm::superstep(
       });
 
   // Route messages (deterministic order: by sender rank, then send order).
+  // Fault injection happens here, on the single-threaded routing path, so
+  // drop decisions are independent of worker-pool interleaving.
+  const bool blackout = injector_ && injector_->superstep_blackout(step);
   for (int src = 0; src < ranks_; ++src) {
     auto& out = all_out[static_cast<std::size_t>(src)];
     for (int dst = 0; dst < ranks_; ++dst) {
       auto& box = out[static_cast<std::size_t>(dst)];
       for (auto& m : box) {
+        if (injector_ && (blackout || injector_->drop_message())) {
+          ++dropped_;
+          continue;
+        }
         pending_[static_cast<std::size_t>(dst)].push_back(std::move(m));
       }
     }

@@ -14,23 +14,41 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "model/machine_model.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gp {
+
+/// Unrecoverable communication failure: a fail-stopped rank, or message
+/// loss the bounded-resend recovery could not repair.
+class CommFailure : public std::runtime_error {
+ public:
+  explicit CommFailure(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// A delivered message: sender rank plus a POD byte payload.
 struct SimMessage {
   int                       from = 0;
   std::vector<std::uint8_t> bytes;
 
-  /// Reinterprets the payload as a vector of T (POD only).
+  /// Reinterprets the payload as a vector of T (POD only).  The payload
+  /// must be an exact multiple of sizeof(T) — a mismatch means the sender
+  /// and receiver disagree on the message type, which silently truncating
+  /// would hide.
   template <typename T>
   [[nodiscard]] std::vector<T> as() const {
     static_assert(std::is_trivially_copyable_v<T>);
+    if (bytes.size() % sizeof(T) != 0) {
+      throw std::runtime_error(
+          "SimMessage::as: payload of " + std::to_string(bytes.size()) +
+          " bytes is not a multiple of element size " +
+          std::to_string(sizeof(T)));
+    }
     std::vector<T> out(bytes.size() / sizeof(T));
     std::memcpy(out.data(), bytes.data(), out.size() * sizeof(T));
     return out;
@@ -56,6 +74,11 @@ class Mailbox {
   template <typename T>
   void send(int dst, const std::vector<T>& data) {
     static_assert(std::is_trivially_copyable_v<T>);
+    if (dst < 0 || dst >= ranks_) {
+      throw std::out_of_range("Mailbox::send: destination rank " +
+                              std::to_string(dst) + " outside [0, " +
+                              std::to_string(ranks_) + ")");
+    }
     SimMessage m;
     m.from = rank_;
     m.bytes.resize(data.size() * sizeof(T));
@@ -81,8 +104,17 @@ class SimComm {
 
   [[nodiscard]] int ranks() const { return ranks_; }
 
+  /// Attaches a fault injector: per-message and per-superstep drops plus
+  /// rank fail-stop detection.  nullptr disables injection (the default).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Messages eaten in transit by the fault injector so far.
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
   /// Runs one superstep.  `fn(rank, mailbox)` returns the rank's metered
   /// compute work.  Messages sent become receivable next superstep.
+  /// Throws CommFailure when the fault plan fail-stops a rank (the
+  /// simulated runtime detects the dead process at the step barrier).
   void superstep(const std::string& label,
                  const std::function<std::uint64_t(int, Mailbox&)>& fn);
 
@@ -115,7 +147,9 @@ class SimComm {
   int ranks_;
   ThreadPool& pool_;
   CostLedger* ledger_;
+  FaultInjector* injector_ = nullptr;
   std::uint64_t steps_ = 0;
+  std::uint64_t dropped_ = 0;
   /// pending_[dst] = messages awaiting delivery at the next superstep.
   std::vector<std::vector<SimMessage>> pending_;
 };

@@ -117,6 +117,11 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
   const int P = std::max(1, opts.ranks);
   ThreadPool pool(P);
   SimComm comm(P, pool, &res.ledger);
+  const std::unique_ptr<FaultInjector> injector = opts.make_fault_injector();
+  comm.set_fault_injector(injector.get());
+  /// Bounded recovery: how many resend rounds a lost cmap message gets
+  /// before the run aborts with CommFailure.
+  constexpr int kMaxResendRounds = 4;
 
   struct Level {
     CsrGraph graph;             // graph at this (coarse) level
@@ -256,6 +261,29 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
           });
     }
 
+    // Recovery (fault plans only): a dropped grant leaves the owner
+    // pointing at a requester whose pending state reverted — an
+    // asymmetric match that would corrupt the coarse numbering.  Dissolve
+    // such edges; the vertex self-matches below like any other leftover.
+    if (injector) {
+      std::vector<std::uint64_t> repairs(static_cast<std::size_t>(P), 0);
+      comm.superstep(
+          "coarsen/match/repair" + L, [&](int r, Mailbox&) -> std::uint64_t {
+            std::uint64_t work = 0;
+            for (vid_t v = dist.begin(r); v < dist.end(r); ++v) {
+              ++work;
+              const vid_t m = match[static_cast<std::size_t>(v)];
+              if (m == kInvalidVid || m == v) continue;
+              if (match[static_cast<std::size_t>(m)] != v) {
+                match[static_cast<std::size_t>(v)] = kInvalidVid;
+                ++repairs[static_cast<std::size_t>(r)];
+              }
+            }
+            return work;
+          });
+      for (const auto c : repairs) res.health.match_repairs += c;
+    }
+
     // Self-match leftovers.
     comm.superstep("coarsen/match/self" + L,
                    [&](int r, Mailbox&) -> std::uint64_t {
@@ -333,18 +361,64 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
           }
           return work;
         });
-    comm.superstep("coarsen/cmap/followers" + L,
-                   [&](int, Mailbox& mb) -> std::uint64_t {
-                     std::uint64_t work = 0;
-                     for (const auto& m : mb.inbox()) {
-                       for (const auto& cm : m.as<CmapMsg>()) {
-                         cmap[static_cast<std::size_t>(cm.follower)] =
-                             cm.coarse_id;
-                         ++work;
-                       }
-                     }
-                     return work;
-                   });
+    auto apply_cmap_msgs = [&](int, Mailbox& mb) -> std::uint64_t {
+      std::uint64_t work = 0;
+      for (const auto& m : mb.inbox()) {
+        for (const auto& cm : m.as<CmapMsg>()) {
+          cmap[static_cast<std::size_t>(cm.follower)] = cm.coarse_id;
+          ++work;
+        }
+      }
+      return work;
+    };
+    comm.superstep("coarsen/cmap/followers" + L, apply_cmap_msgs);
+
+    // Recovery (fault plans only): a dropped CmapMsg leaves a cross-rank
+    // follower unlabeled, which would corrupt contraction.  Leaders rescan
+    // their pairs and resend for a bounded number of rounds; loss that
+    // outlives the rounds aborts the run cleanly.
+    if (injector) {
+      for (int round = 0;; ++round) {
+        bool missing = false;
+        for (vid_t v = 0; v < n && !missing; ++v) {
+          missing = cmap[static_cast<std::size_t>(v)] == kInvalidVid;
+        }
+        if (!missing) break;
+        if (round >= kMaxResendRounds) {
+          throw CommFailure("coarsen/cmap" + L +
+                            ": follower labels still missing after " +
+                            std::to_string(kMaxResendRounds) +
+                            " resend rounds");
+        }
+        const std::string R = "/r" + std::to_string(round);
+        std::vector<std::uint64_t> resent(static_cast<std::size_t>(P), 0);
+        comm.superstep(
+            "coarsen/cmap/resend" + L + R,
+            [&](int r, Mailbox& mb) -> std::uint64_t {
+              std::uint64_t work = 0;
+              std::vector<std::vector<CmapMsg>> out(
+                  static_cast<std::size_t>(P));
+              for (vid_t v = dist.begin(r); v < dist.end(r); ++v) {
+                ++work;
+                if (!is_leader(v)) continue;
+                const vid_t m = match[static_cast<std::size_t>(v)];
+                if (m == v || cmap[static_cast<std::size_t>(m)] != kInvalidVid)
+                  continue;
+                out[static_cast<std::size_t>(dist.owner(m))].push_back(
+                    {m, cmap[static_cast<std::size_t>(v)]});
+                ++resent[static_cast<std::size_t>(r)];
+              }
+              for (int dst = 0; dst < P; ++dst) {
+                if (!out[static_cast<std::size_t>(dst)].empty()) {
+                  mb.send(dst, out[static_cast<std::size_t>(dst)]);
+                }
+              }
+              return work;
+            });
+        for (const auto c : resent) res.health.messages_resent += c;
+        comm.superstep("coarsen/cmap/redeliver" + L + R, apply_cmap_msgs);
+      }
+    }
 
     // -- contraction: cross-rank followers ship their (translated)
     // adjacency to the leader's rank; leaders hash-merge --
@@ -665,6 +739,20 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
   res.partition.k = opts.k;
   res.cut = edge_cut(g, res.partition);
   res.balance = partition_balance(g, res.partition);
+  if (injector) {
+    res.health.messages_dropped += comm.messages_dropped();
+    if (res.health.match_repairs > 0) {
+      res.health.note("parmetis: dissolved " +
+                      std::to_string(res.health.match_repairs) +
+                      " asymmetric matches left by dropped grants");
+    }
+    if (res.health.messages_resent > 0) {
+      res.health.note("parmetis: resent " +
+                      std::to_string(res.health.messages_resent) +
+                      " cmap messages lost in transit");
+    }
+    injector->report_into(res.health);
+  }
   res.modeled_seconds = res.ledger.total_seconds();
   for (const auto& e : res.ledger.entries()) {
     const bool comm_entry = e.label.rfind("comm/", 0) == 0;

@@ -1,0 +1,228 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace gp {
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlloc:     return "alloc";
+    case FaultSite::kKernel:    return "kernel";
+    case FaultSite::kH2D:       return "h2d";
+    case FaultSite::kD2H:       return "d2h";
+    case FaultSite::kMsg:       return "msg";
+    case FaultSite::kSuperstep: return "superstep";
+    default:                    return "?";
+  }
+}
+
+namespace {
+
+[[noreturn]] void bad_rule(const std::string& rule, const char* why) {
+  throw std::invalid_argument("fault spec: bad rule '" + rule + "': " + why);
+}
+
+/// Parses a non-negative integer occupying the whole of `s`.
+std::int64_t parse_count(const std::string& rule, const std::string& s) {
+  if (s.empty()) bad_rule(rule, "missing number");
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (*end != '\0' || v < 0) bad_rule(rule, "malformed number");
+  return static_cast<std::int64_t>(v);
+}
+
+bool parse_site(const std::string& name, FaultSite* out) {
+  for (int i = 0; i < static_cast<int>(FaultSite::kNumSites); ++i) {
+    if (name == fault_site_name(static_cast<FaultSite>(i))) {
+      *out = static_cast<FaultSite>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string rule = spec.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding whitespace.
+    const auto b = rule.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    rule = rule.substr(b, rule.find_last_not_of(" \t") - b + 1);
+
+    // deviceD:lost[@N]  /  rankR:fail[@S]
+    if (rule.rfind("device", 0) == 0 || rule.rfind("rank", 0) == 0) {
+      const bool is_device = rule.rfind("device", 0) == 0;
+      const std::size_t id_at = is_device ? 6 : 4;
+      const std::size_t colon = rule.find(':', id_at);
+      if (colon == std::string::npos) bad_rule(rule, "expected ':'");
+      const std::int64_t id =
+          parse_count(rule, rule.substr(id_at, colon - id_at));
+      std::string verb = rule.substr(colon + 1);
+      std::int64_t after = 0;
+      const std::size_t at = verb.find('@');
+      if (at != std::string::npos) {
+        after = parse_count(rule, verb.substr(at + 1));
+        verb = verb.substr(0, at);
+      }
+      if (is_device) {
+        if (verb != "lost") bad_rule(rule, "expected ':lost'");
+        plan.device_losses.push_back(
+            {static_cast<int>(id), static_cast<std::uint64_t>(after)});
+      } else {
+        if (verb != "fail") bad_rule(rule, "expected ':fail'");
+        plan.rank_failures.push_back(
+            {static_cast<int>(id), static_cast<std::uint64_t>(after)});
+      }
+      continue;
+    }
+
+    // site@N  /  site:p=F
+    FaultRule fr;
+    const std::size_t at = rule.find('@');
+    const std::size_t colon = rule.find(':');
+    if (at != std::string::npos) {
+      if (!parse_site(rule.substr(0, at), &fr.site)) {
+        bad_rule(rule, "unknown site");
+      }
+      fr.at = parse_count(rule, rule.substr(at + 1));
+    } else if (colon != std::string::npos) {
+      if (!parse_site(rule.substr(0, colon), &fr.site)) {
+        bad_rule(rule, "unknown site");
+      }
+      const std::string arg = rule.substr(colon + 1);
+      if (arg.rfind("p=", 0) != 0) bad_rule(rule, "expected ':p=F'");
+      char* end = nullptr;
+      fr.p = std::strtod(arg.c_str() + 2, &end);
+      if (*end != '\0' || fr.p < 0.0 || fr.p > 1.0) {
+        bad_rule(rule, "probability must be in [0, 1]");
+      }
+    } else {
+      bad_rule(rule, "expected 'site@N', 'site:p=F', ':lost', or ':fail'");
+    }
+    plan.rules.push_back(fr);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultPlan plan)
+    : seed_(seed), plan_(std::move(plan)) {
+  int max_device = 0;
+  for (const auto& dl : plan_.device_losses) {
+    max_device = std::max(max_device, dl.device);
+  }
+  device_ops_.assign(static_cast<std::size_t>(max_device) + 1, 0);
+  device_dead_.assign(static_cast<std::size_t>(max_device) + 1, 0);
+}
+
+bool FaultInjector::site_fires_locked(FaultSite site) {
+  const std::uint64_t n = counters_[static_cast<int>(site)]++;
+  for (const auto& r : plan_.rules) {
+    if (r.site != site) continue;
+    if (r.at >= 0) {
+      if (static_cast<std::uint64_t>(r.at) == n) return true;
+      continue;
+    }
+    if (r.p <= 0.0) continue;
+    // Stateless per-occurrence decision: reproducible regardless of how
+    // other sites interleave with this one.
+    SplitMix64 h(seed_ ^ (static_cast<std::uint64_t>(site) * 0x9e3779b9ULL) ^
+                 (n * 0xd1b54a32d192ed03ULL));
+    const double u =
+        static_cast<double>(h.next() >> 11) * 0x1.0p-53;  // [0, 1)
+    if (u < r.p) return true;
+  }
+  return false;
+}
+
+FaultInjector::Action FaultInjector::on_device_op(int device_id,
+                                                  FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Lost-device check first: a dead GPU fails every operation.
+  const auto d = static_cast<std::size_t>(device_id);
+  if (d < device_ops_.size()) {
+    const std::uint64_t op = device_ops_[d]++;
+    for (const auto& dl : plan_.device_losses) {
+      if (dl.device != device_id || op < dl.after_ops) continue;
+      if (!device_dead_[d]) {
+        device_dead_[d] = 1;
+        ++lost_devices_;
+        ++fired_;
+        events_.push_back("device" + std::to_string(device_id) + ":lost@" +
+                          std::to_string(op));
+      }
+      return Action::kFail;
+    }
+  }
+  if (site_fires_locked(site)) {
+    ++fired_;
+    events_.push_back(std::string(fault_site_name(site)) + "@" +
+                      std::to_string(counters_[static_cast<int>(site)] - 1) +
+                      " (device " + std::to_string(device_id) + ")");
+    return site == FaultSite::kAlloc ? Action::kOom : Action::kFail;
+  }
+  return Action::kNone;
+}
+
+bool FaultInjector::superstep_blackout(std::uint64_t superstep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!site_fires_locked(FaultSite::kSuperstep)) return false;
+  ++fired_;
+  events_.push_back("superstep@" + std::to_string(superstep) + " blackout");
+  return true;
+}
+
+bool FaultInjector::drop_message() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!site_fires_locked(FaultSite::kMsg)) return false;
+  ++fired_;
+  events_.push_back(
+      "msg@" +
+      std::to_string(counters_[static_cast<int>(FaultSite::kMsg)] - 1) +
+      " dropped");
+  return true;
+}
+
+void FaultInjector::record_rank_failure(int rank, std::uint64_t superstep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++fired_;
+  events_.push_back("rank" + std::to_string(rank) + ":fail@" +
+                    std::to_string(superstep));
+}
+
+bool FaultInjector::rank_failed(int rank, std::uint64_t superstep) const {
+  for (const auto& rf : plan_.rank_failures) {
+    if (rf.rank == rank && superstep >= rf.from_superstep) return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+std::uint64_t FaultInjector::devices_lost() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lost_devices_;
+}
+
+void FaultInjector::report_into(RunHealth& health) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  health.faults_injected += fired_;
+  health.devices_lost += lost_devices_;
+  for (const auto& e : events_) health.events.push_back("fault: " + e);
+  if (fired_ > 0) health.degraded = true;
+}
+
+}  // namespace gp

@@ -61,12 +61,19 @@ TEST(MultiGpu, PartitionsGraphTooLargeForOneDevice) {
   // working arrays); cap at 3 MB per device.
   opts.gpu_memory_bytes = 3 << 20;
 
-  EXPECT_THROW(make_hybrid_partitioner()->run(g, opts), DeviceOutOfMemory);
+  // A single device cannot hold the graph: the run completes only by
+  // degrading to the pure-CPU fallback.
+  const auto single = make_hybrid_partitioner()->run(g, opts);
+  EXPECT_TRUE(single.health.degraded);
+  EXPECT_EQ(single.health.fallbacks, 1u);
+  EXPECT_TRUE(validate_partition(g, single.partition).empty());
 
+  // Four devices fit the shards and stay on the nominal GPU path.
   opts.gpu_devices = 4;
   MultiGpuLog log;
   const auto r = multi_gpu_run(g, opts, &log);
   EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_FALSE(r.health.degraded);
   EXPECT_GT(log.gpu_coarsen_levels, 0);
   EXPECT_LE(log.peak_device_bytes, std::size_t{3} << 20);
 }

@@ -16,6 +16,9 @@
 //   --report         print the per-part quality table
 //   --ledger-json <path>  dump the cost-model ledger as JSON
 //   --out <path>     partition file path (default <input>.part.<k>)
+//   --fault-spec <s> fault-injection schedule, e.g. "alloc@3;kernel:p=0.01"
+//                    (see src/util/fault.hpp for the full grammar)
+//   --fault-seed <n> seed for probabilistic fault rules (default 0)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,7 +38,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: gpmetis <graph-file> <k> [--system NAME] [--eps F] "
                "[--seed N] [--threads N] [--ranks N] [--devices N] "
-               "[--dimacs] [--out PATH]\n");
+               "[--dimacs] [--out PATH] [--fault-spec S] [--fault-seed N]\n");
 }
 
 }  // namespace
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--report")) report = true;
     else if (!std::strcmp(argv[i], "--ledger-json")) ledger_path = next();
     else if (!std::strcmp(argv[i], "--out")) out_path = next();
+    else if (!std::strcmp(argv[i], "--fault-spec")) opts.fault_spec = next();
+    else if (!std::strcmp(argv[i], "--fault-seed")) opts.fault_seed = static_cast<std::uint64_t>(std::atoll(next()));
     else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       usage();
@@ -105,6 +110,9 @@ int main(int argc, char** argv) {
                 r.modeled_seconds, r.phases.coarsen, r.phases.initpart,
                 r.phases.uncoarsen, r.phases.transfer);
     std::printf("wall:     %.4f s (this machine)\n", r.wall_seconds);
+    if (!opts.fault_spec.empty() || r.health.degraded) {
+      std::printf("%s", format_health(r.health).c_str());
+    }
 
     if (report) {
       std::printf("\n%s",
