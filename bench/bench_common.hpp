@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -38,27 +39,68 @@ struct BenchConfig {
                                      "usa-roads"};
 };
 
+/// Flag-parse failure: prints the message and exits(2).  Malformed or
+/// out-of-range numeric flags must not silently run a degenerate matrix
+/// (e.g. `--reps 0` would "succeed" in 0 seconds with no rows).
+[[noreturn]] inline void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "bench: %s\n", msg.c_str());
+  std::fprintf(stderr,
+               "usage: bench [--scale <f>] [--k <int>] [--reps <int>] "
+               "[--seed <int>] [--gpu-threshold <int>] [--graphs a,b,...]\n");
+  std::exit(2);
+}
+
+inline double parse_numeric_flag(const char* flag, const char* value,
+                                 double lo, double hi) {
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (value[0] == '\0' || end == nullptr || *end != '\0') {
+    usage_error(std::string(flag) + ": expected a number, got \"" + value +
+                "\"");
+  }
+  if (!(v >= lo && v <= hi)) {
+    usage_error(std::string(flag) + " " + value + " out of range [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
 inline BenchConfig parse_args(int argc, char** argv) {
   BenchConfig cfg;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return (i + 1 < argc) ? argv[++i] : "";
     };
-    if (!std::strcmp(argv[i], "--scale")) cfg.scale = std::atof(next());
-    else if (!std::strcmp(argv[i], "--k")) cfg.k = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--reps")) cfg.reps = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--seed")) cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    else if (!std::strcmp(argv[i], "--gpu-threshold")) cfg.gpu_threshold = std::atoi(next());
+    auto num = [&](double lo, double hi) {
+      const char* flag = argv[i];
+      return parse_numeric_flag(flag, next(), lo, hi);
+    };
+    auto integer = [&](double lo, double hi) {
+      const char* flag = argv[i];
+      const double v = parse_numeric_flag(flag, next(), lo, hi);
+      if (v != static_cast<double>(static_cast<long long>(v))) {
+        usage_error(std::string(flag) + ": expected an integer");
+      }
+      return static_cast<long long>(v);
+    };
+    if (!std::strcmp(argv[i], "--scale")) cfg.scale = num(1e-9, 16.0);
+    else if (!std::strcmp(argv[i], "--k")) cfg.k = static_cast<part_t>(integer(1, 1 << 20));
+    else if (!std::strcmp(argv[i], "--reps")) cfg.reps = static_cast<int>(integer(1, 1000));
+    else if (!std::strcmp(argv[i], "--seed")) cfg.seed = static_cast<std::uint64_t>(integer(0, 9.2e18));
+    else if (!std::strcmp(argv[i], "--gpu-threshold")) cfg.gpu_threshold = static_cast<vid_t>(integer(0, 2e9));
     else if (!std::strcmp(argv[i], "--graphs")) {
       cfg.graphs.clear();
       std::string s = next();
       std::size_t pos = 0;
       while (pos != std::string::npos) {
         const auto comma = s.find(',', pos);
-        cfg.graphs.push_back(s.substr(
-            pos, comma == std::string::npos ? comma : comma - pos));
+        const auto name = s.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        if (name.empty()) usage_error("--graphs: empty graph name");
+        cfg.graphs.push_back(name);
         pos = (comma == std::string::npos) ? comma : comma + 1;
       }
+      if (cfg.graphs.empty()) usage_error("--graphs: no graph names given");
     }
   }
   return cfg;

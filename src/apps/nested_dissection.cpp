@@ -39,7 +39,7 @@ void nd_rec(const CsrGraph& g, const std::vector<vid_t>& ids, NdCtx& ctx) {
                       std::max<wgt_t>(1, target0 - slack),
                       std::min<wgt_t>(g.total_vertex_weight() - 1,
                                       target0 + slack),
-                      4);
+                      4, bis.cut);
 
   // Vertex separator: greedy cover of the cut edges — for each cut edge
   // take the endpoint with more cut neighbours (ties: side-0 vertex).

@@ -105,6 +105,24 @@ struct LevelStat {
   eid_t edges = 0;
 };
 
+/// Execution-engine counters from the run's simulated device(s): kernel
+/// launches and device-buffer-pool behaviour.  All zero for the CPU-only
+/// partitioners; multi-device runs sum over devices.
+struct DeviceExecStats {
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t pool_hits = 0;   ///< scratch acquisitions served from pool
+  std::uint64_t pool_misses = 0; ///< acquisitions that allocated fresh memory
+  std::uint64_t pool_recycled_bytes = 0;  ///< bytes served without malloc
+
+  DeviceExecStats& operator+=(const DeviceExecStats& o) {
+    kernels_launched += o.kernels_launched;
+    pool_hits += o.pool_hits;
+    pool_misses += o.pool_misses;
+    pool_recycled_bytes += o.pool_recycled_bytes;
+    return *this;
+  }
+};
+
 struct PartitionResult {
   Partition partition;
   wgt_t     cut = 0;
@@ -121,6 +139,9 @@ struct PartitionResult {
 
   /// Fault/degradation record of this run (default: healthy, no faults).
   RunHealth    health;
+
+  /// Execution-engine counters (simulated device runs only).
+  DeviceExecStats exec;
 };
 
 /// Validates (graph, options) preconditions shared by every partitioner:

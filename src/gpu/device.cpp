@@ -1,7 +1,7 @@
 #include "gpu/device.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cstring>
 
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -67,55 +67,79 @@ void Device::meter_d2h(std::size_t bytes, const std::string& label) {
   if (ledger_) ledger_->charge_transfer("transfer/d2h/" + label, bytes);
 }
 
-void Device::launch(const std::string& label, std::int64_t n_threads,
-                    const std::function<std::uint64_t(std::int64_t)>& body) {
+void Device::begin_launch(const std::string& label) {
   check_fault(FaultSite::kKernel, label);
   ++kernels_;
-  if (n_threads <= 0) {
-    if (ledger_) ledger_->charge_gpu_kernel("kernel/" + label, 0, 1.0);
-    return;
+}
+
+void Device::finish_launch(const std::string& label) {
+  std::uint64_t total = 0;
+  for (const auto w : warp_work_) total += w;
+  // Warp imbalance: max/mean, capped — a single pathological warp
+  // cannot stall the whole device forever (other SMs keep working).
+  double imb = imbalance_factor(warp_work_);
+  imb = std::min(imb, 8.0);
+  ledger_->charge_gpu_kernel("kernel/" + label, total, imb);
+}
+
+namespace {
+
+/// Pool bucket for a request: log2 of the smallest power of two >= bytes
+/// (minimum bucket 256 bytes, so tiny counters share a list).
+int pool_bucket(std::size_t bytes) {
+  std::size_t cap = 256;
+  int b = 8;
+  while (cap < bytes) {
+    cap <<= 1;
+    ++b;
   }
-  const int ws = config_.warp_size;
-  const auto n_warps =
-      static_cast<std::size_t>((n_threads + ws - 1) / ws);
-  std::vector<std::uint64_t> warp_work(n_warps, 0);
+  return b;
+}
 
-  pool_.parallel_for_blocked(
-      n_threads, [&](int, std::int64_t begin, std::int64_t end) {
-        // Each worker owns whole warps where possible; warp sums need no
-        // atomics as long as warp boundaries don't straddle workers, but
-        // blocked ranges may split a warp — use a local accumulator and a
-        // relaxed atomic add on the boundary warps.
-        std::int64_t i = begin;
-        while (i < end) {
-          const std::int64_t warp = i / ws;
-          const std::int64_t warp_end = std::min<std::int64_t>((warp + 1) * ws, end);
-          std::uint64_t acc = 0;
-          for (; i < warp_end; ++i) acc += body(i);
-          std::atomic_ref<std::uint64_t> slot(
-              warp_work[static_cast<std::size_t>(warp)]);
-          slot.fetch_add(acc, std::memory_order_relaxed);
-        }
-      });
+}  // namespace
 
-  if (ledger_) {
-    std::uint64_t total = 0;
-    for (const auto w : warp_work) total += w;
-    // Warp imbalance: max/mean, capped — a single pathological warp
-    // cannot stall the whole device forever (other SMs keep working).
-    double imb = imbalance_factor(warp_work);
-    imb = std::min(imb, 8.0);
-    ledger_->charge_gpu_kernel("kernel/" + label, total, imb);
+void* Device::pool_acquire(std::size_t bytes) {
+  const int b = pool_bucket(bytes);
+  if (static_cast<std::size_t>(b) >= pool_free_.size()) {
+    pool_free_.resize(static_cast<std::size_t>(b) + 1);
+  }
+  auto& list = pool_free_[static_cast<std::size_t>(b)];
+  void* p;
+  if (!list.empty()) {
+    p = list.back();
+    list.pop_back();
+    ++pool_hits_;
+    pool_recycled_bytes_ += bytes;
+  } else {
+    p = ::operator new(std::size_t{1} << b);
+    ++pool_misses_;
+  }
+  // Fresh-allocation semantics: callers see zeroed memory either way.
+  std::memset(p, 0, bytes);
+  return p;
+}
+
+void Device::pool_release(void* p, std::size_t bytes) noexcept {
+  if (!p) return;
+  const int b = pool_bucket(bytes);
+  if (static_cast<std::size_t>(b) >= pool_free_.size()) {
+    pool_free_.resize(static_cast<std::size_t>(b) + 1);
+  }
+  try {
+    pool_free_[static_cast<std::size_t>(b)].push_back(p);
+  } catch (...) {
+    ::operator delete(p);
   }
 }
 
-void Device::launch_simple(const std::string& label, std::int64_t n_threads,
-                           const std::function<void(std::int64_t)>& body) {
-  launch(label, n_threads, [&](std::int64_t tid) -> std::uint64_t {
-    body(tid);
-    return 1;
-  });
+void Device::pool_trim() noexcept {
+  for (auto& list : pool_free_) {
+    for (void* p : list) ::operator delete(p);
+    list.clear();
+  }
 }
+
+Device::~Device() { pool_trim(); }
 
 void Device::reset_counters() {
   h2d_bytes_ = 0;

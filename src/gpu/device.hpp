@@ -19,9 +19,9 @@
 // here exactly.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -107,23 +107,132 @@ class Device {
   /// work is aggregated per warp and the warp imbalance stretches the
   /// modeled kernel time.  Bodies run concurrently on the worker pool —
   /// shared-array writes race exactly as on the real device.
-  void launch(const std::string& label, std::int64_t n_threads,
-              const std::function<std::uint64_t(std::int64_t)>& body);
+  ///
+  /// The body type is a template parameter: every per-element call is a
+  /// direct (inlinable) invocation, never a type-erased std::function —
+  /// this is the hot path of the whole simulated device.  Logical threads
+  /// are handed to host workers in warp-aligned dynamic chunks (atomic
+  /// chunk counter), mirroring how a real GPU's scheduler assigns thread
+  /// blocks to SMs, so one heavy chunk cannot serialize the launch on a
+  /// static block boundary.  Warp-aligned chunks also give every warp's
+  /// work sum exactly one writer — no atomics on the metering path.
+  template <typename Body>
+  void launch(const std::string& label, std::int64_t n_threads, Body&& body) {
+    begin_launch(label);
+    if (n_threads <= 0) {
+      if (ledger_) ledger_->charge_gpu_kernel("kernel/" + label, 0, 1.0);
+      return;
+    }
+    const int ws = config_.warp_size;
+    const std::int64_t grain = launch_grain(n_threads);
+    if (!ledger_) {
+      // No ledger attached: skip the per-warp work vector and the warp
+      // accumulation entirely; the body's return value is not needed.
+      pool_.parallel_for_dynamic(
+          n_threads, grain, [&](int, std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) body(i);
+          });
+      return;
+    }
+    const auto n_warps =
+        static_cast<std::size_t>((n_threads + ws - 1) / ws);
+    warp_work_.assign(n_warps, 0);
+    std::uint64_t* ww = warp_work_.data();
+    pool_.parallel_for_dynamic(
+        n_threads, grain, [&](int, std::int64_t b, std::int64_t e) {
+          // Chunks are warp-aligned, so every warp lives in exactly one
+          // chunk and its sum has one writer: plain stores suffice.
+          std::int64_t i = b;
+          while (i < e) {
+            const std::int64_t warp = i / ws;
+            const std::int64_t warp_end =
+                std::min<std::int64_t>((warp + 1) * ws, e);
+            std::uint64_t acc = 0;
+            for (; i < warp_end; ++i) acc += body(i);
+            ww[static_cast<std::size_t>(warp)] = acc;
+          }
+        });
+    finish_launch(label);
+  }
 
   /// Convenience launch for bodies with no interesting work metric
   /// (charged 1 unit per logical thread).
+  template <typename Body>
   void launch_simple(const std::string& label, std::int64_t n_threads,
-                     const std::function<void(std::int64_t)>& body);
+                     Body&& body) {
+    launch(label, n_threads, [&](std::int64_t tid) -> std::uint64_t {
+      body(tid);
+      return 1;
+    });
+  }
+
+  /// Launch for perfectly uniform kernels (fills, memsets): charged one
+  /// unit per logical thread with no per-warp metering at all.
+  template <typename Body>
+  void launch_uniform(const std::string& label, std::int64_t n_threads,
+                      Body&& body) {
+    begin_launch(label);
+    if (n_threads > 0) {
+      pool_.parallel_for_dynamic(
+          n_threads, launch_grain(n_threads),
+          [&](int, std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) body(i);
+          });
+    }
+    if (ledger_) {
+      ledger_->charge_gpu_kernel(
+          "kernel/" + label,
+          static_cast<std::uint64_t>(std::max<std::int64_t>(n_threads, 0)),
+          1.0);
+    }
+  }
 
   [[nodiscard]] std::uint64_t kernels_launched() const { return kernels_; }
 
-  /// Resets transfer/kernel counters (not allocations).
+  // --- device-memory pool (used by DeviceBuffer's backing storage) ---
+  // Size-bucketed free lists in the spirit of CUB's caching allocator:
+  // per-level scratch (scan totals, contraction index arrays, refinement
+  // gain buffers) is recycled across the V-cycle instead of re-allocated.
+  // Blocks come back zero-filled, preserving cudaMalloc-the-simulated-way
+  // (fresh std::vector) semantics exactly.
+
+  /// Returns a zero-initialized block of at least `bytes` bytes.
+  void* pool_acquire(std::size_t bytes);
+  /// Returns a block obtained from pool_acquire with the same `bytes`.
+  void pool_release(void* p, std::size_t bytes) noexcept;
+  /// Frees every cached (currently unused) pool block.
+  void pool_trim() noexcept;
+
+  [[nodiscard]] std::uint64_t pool_hits() const { return pool_hits_; }
+  [[nodiscard]] std::uint64_t pool_misses() const { return pool_misses_; }
+  /// Bytes served from the pool without touching the host allocator.
+  [[nodiscard]] std::uint64_t pool_recycled_bytes() const {
+    return pool_recycled_bytes_;
+  }
+
+  /// Resets transfer/kernel counters (not allocations, not pool stats).
   void reset_counters();
+
+  ~Device();
 
  private:
   /// Consults the injector (if any) for this operation; throws
   /// DeviceOutOfMemory / DeviceFailure when a fault fires.
   void check_fault(FaultSite site, const std::string& what);
+
+  /// Non-template halves of launch(): fault check + kernel count, and
+  /// the warp_work_ roll-up into the ledger.
+  void begin_launch(const std::string& label);
+  void finish_launch(const std::string& label);
+
+  /// Warp-aligned dynamic chunk size for an n_threads-wide launch.
+  [[nodiscard]] std::int64_t launch_grain(std::int64_t n_threads) const {
+    const int ws = config_.warp_size;
+    const auto target_chunks = static_cast<std::int64_t>(pool_.size()) * 8;
+    std::int64_t g = (n_threads + target_chunks - 1) / target_chunks;
+    g = ((g + ws - 1) / ws) * ws;  // whole warps per chunk
+    return std::max<std::int64_t>(g, ws);
+  }
 
   Config        config_;
   ThreadPool    pool_;
@@ -135,6 +244,16 @@ class Device {
   std::uint64_t h2d_bytes_ = 0;
   std::uint64_t d2h_bytes_ = 0;
   std::uint64_t kernels_ = 0;
+
+  /// Per-launch warp metering scratch, reused across launches so the hot
+  /// path performs no allocation.
+  std::vector<std::uint64_t> warp_work_;
+
+  /// Pool free lists indexed by power-of-two bucket (log2).
+  std::vector<std::vector<void*>> pool_free_;
+  std::uint64_t pool_hits_ = 0;
+  std::uint64_t pool_misses_ = 0;
+  std::uint64_t pool_recycled_bytes_ = 0;
 };
 
 }  // namespace gp

@@ -5,11 +5,19 @@
 // access the raw storage through data()/span().  Reading a DeviceBuffer
 // from host code without d2h() is a bug by convention, just as
 // dereferencing a device pointer on the host is in CUDA.
+//
+// Backing storage comes from the owning Device's size-bucketed pool (see
+// Device::pool_acquire): per-level scratch is recycled across the V-cycle
+// instead of hitting the host allocator, and arrives zero-initialized
+// either way.  Element types must be trivially copyable — device memory
+// is raw bytes, exactly as in CUDA.
 #pragma once
 
 #include <cassert>
+#include <cstring>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "gpu/device.hpp"
@@ -18,13 +26,17 @@ namespace gp {
 
 template <typename T>
 class DeviceBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "device memory holds raw bytes; T must be trivially "
+                "copyable (as in CUDA)");
+
  public:
   DeviceBuffer() = default;
 
   DeviceBuffer(Device& dev, std::size_t n, std::string label = "buf")
-      : dev_(&dev), label_(std::move(label)) {
-    dev_->on_alloc(n * sizeof(T));
-    storage_.resize(n);
+      : dev_(&dev), label_(std::move(label)), n_(n) {
+    dev_->on_alloc(n * sizeof(T));  // capacity check / fault site first
+    data_ = static_cast<T*>(dev_->pool_acquire(n * sizeof(T)));
   }
 
   ~DeviceBuffer() { release(); }
@@ -38,63 +50,72 @@ class DeviceBuffer {
       release();
       dev_ = o.dev_;
       label_ = std::move(o.label_);
-      storage_ = std::move(o.storage_);
+      data_ = o.data_;
+      n_ = o.n_;
       o.dev_ = nullptr;
+      o.data_ = nullptr;
+      o.n_ = 0;
     }
     return *this;
   }
 
-  [[nodiscard]] std::size_t size() const { return storage_.size(); }
-  [[nodiscard]] bool empty() const { return storage_.empty(); }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
 
   /// Device-side access (kernel bodies only, by convention).
-  [[nodiscard]] T* data() { return storage_.data(); }
-  [[nodiscard]] const T* data() const { return storage_.data(); }
-  [[nodiscard]] std::span<T> span() { return {storage_.data(), storage_.size()}; }
-  [[nodiscard]] std::span<const T> span() const {
-    return {storage_.data(), storage_.size()};
-  }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::span<T> span() { return {data_, n_}; }
+  [[nodiscard]] std::span<const T> span() const { return {data_, n_}; }
 
   /// Host -> device copy (metered).
   void h2d(std::span<const T> host) {
-    assert(host.size() == storage_.size());
-    std::copy(host.begin(), host.end(), storage_.begin());
+    assert(host.size() == n_);
+    if (!host.empty()) std::memcpy(data_, host.data(), host.size_bytes());
     dev_->meter_h2d(host.size_bytes(), label_);
   }
 
   /// Device -> host copy (metered).
   void d2h(std::span<T> host) const {
-    assert(host.size() == storage_.size());
-    std::copy(storage_.begin(), storage_.end(), host.begin());
-    dev_->meter_d2h(host.size() * sizeof(T), label_);
+    assert(host.size() == n_);
+    if (n_ > 0) std::memcpy(host.data(), data_, n_ * sizeof(T));
+    dev_->meter_d2h(n_ * sizeof(T), label_);
   }
 
   /// Device -> host into a fresh vector (metered).
   [[nodiscard]] std::vector<T> d2h_vector() const {
-    std::vector<T> out(storage_.size());
+    std::vector<T> out(n_);
     d2h(out);
     return out;
   }
 
-  /// Device-side fill (a trivial kernel in CUDA; not a transfer).
+  /// Device-side fill — a real kernel launch: metered by the cost ledger
+  /// (cudaMemset / fill kernels are not free on hardware either) and
+  /// visible to the fault injector like any other kernel.
   void fill(const T& value) {
-    std::fill(storage_.begin(), storage_.end(), value);
+    if (!dev_) return;
+    T* p = data_;
+    dev_->launch_uniform("fill/" + label_, static_cast<std::int64_t>(n_),
+                         [p, value](std::int64_t i) { p[i] = value; });
   }
 
-  /// Frees the device memory early (like cudaFree).
+  /// Frees the device memory early (like cudaFree); the bytes go back to
+  /// the owning device's pool.
   void release() noexcept {
     if (dev_) {
-      dev_->on_free(storage_.size() * sizeof(T));
-      storage_.clear();
-      storage_.shrink_to_fit();
+      dev_->on_free(n_ * sizeof(T));
+      dev_->pool_release(data_, n_ * sizeof(T));
+      data_ = nullptr;
+      n_ = 0;
       dev_ = nullptr;
     }
   }
 
  private:
-  Device*        dev_ = nullptr;
-  std::string    label_;
-  std::vector<T> storage_;
+  Device*     dev_ = nullptr;
+  std::string label_;
+  T*          data_ = nullptr;
+  std::size_t n_ = 0;
 };
 
 /// Allocates a device buffer and uploads `host` in one step.

@@ -64,26 +64,62 @@ T device_inclusive_scan(Device& dev, DeviceBuffer<T>& buf,
 }
 
 /// In-place device-wide exclusive scan.  Returns the total.
+///
+/// Same blocked structure as the inclusive scan, but the final shift is
+/// fused into the add-offsets pass: each block walks its chunk backwards
+/// and writes a[i] = incl[i-1] + block_offset directly, so the exclusive
+/// scan costs one kernel and zero scratch buffers more than the
+/// block-total scan — instead of the former two extra shift kernels
+/// staging through a temporary the size of the input.
 template <typename T>
 T device_exclusive_scan(Device& dev, DeviceBuffer<T>& buf,
                         const std::string& label = "xscan") {
   const auto n = static_cast<std::int64_t>(buf.size());
   if (n == 0) return T{};
-  const T total = device_inclusive_scan(dev, buf, label);
   T* a = buf.data();
-  // Shift-right kernel: each logical thread writes one slot from its left
-  // neighbour's inclusive value (reads complete before the dependent
-  // write only within a thread, so stage through a temp buffer).
-  DeviceBuffer<T> tmp(dev, static_cast<std::size_t>(n), label + "/tmp");
-  T* t = tmp.data();
-  dev.launch(label + "/shift_read", n, [&](std::int64_t i) {
-    t[i] = (i == 0) ? T{} : a[i - 1];
-    return std::uint64_t{1};
+
+  const std::int64_t block = std::max<std::int64_t>(1024, n / 256);
+  const auto n_blocks = (n + block - 1) / block;
+
+  DeviceBuffer<T> totals(dev, static_cast<std::size_t>(n_blocks),
+                         label + "/totals");
+  T* tot = totals.data();
+
+  dev.launch(label + "/block_scan", n_blocks, [&](std::int64_t b) {
+    const std::int64_t lo = b * block;
+    const std::int64_t hi = std::min<std::int64_t>(lo + block, n);
+    T sum{};
+    for (std::int64_t i = lo; i < hi; ++i) {
+      sum += a[i];
+      a[i] = sum;
+    }
+    tot[b] = sum;
+    return static_cast<std::uint64_t>(hi - lo);
   });
-  dev.launch(label + "/shift_write", n, [&](std::int64_t i) {
-    a[i] = t[i];
-    return std::uint64_t{1};
+
+  dev.launch(label + "/total_scan", 1, [&](std::int64_t) {
+    T sum{};
+    for (std::int64_t b = 0; b < n_blocks; ++b) {
+      sum += tot[b];
+      tot[b] = sum;
+    }
+    return static_cast<std::uint64_t>(n_blocks);
   });
+
+  const T total = tot[n_blocks - 1];
+
+  // Fused shift + add-offsets: walking backwards inside the block makes
+  // the in-place neighbour read safe (a[i-1] is still the inclusive
+  // value when a[i] is written; blocks are disjoint per logical thread).
+  dev.launch(label + "/shift_add", n_blocks, [&](std::int64_t b) {
+    const T off = (b == 0) ? T{} : tot[b - 1];
+    const std::int64_t lo = b * block;
+    const std::int64_t hi = std::min<std::int64_t>(lo + block, n);
+    for (std::int64_t i = hi - 1; i > lo; --i) a[i] = a[i - 1] + off;
+    a[lo] = off;
+    return static_cast<std::uint64_t>(hi - lo);
+  });
+
   return total;
 }
 

@@ -22,6 +22,11 @@ constexpr double kDeviceResetSeconds = 2e-3;
 /// Bounded GPU retries before degrading to a pure mt-metis run.
 constexpr int kMaxGpuAttempts = 3;
 
+DeviceExecStats device_exec_stats(const Device& dev) {
+  return {dev.kernels_launched(), dev.pool_hits(), dev.pool_misses(),
+          dev.pool_recycled_bytes()};
+}
+
 /// Fills the phase roll-up shared by the GPU and the fallback paths.
 /// Retried attempts' charges stay in the ledger, so degraded runs show
 /// their wasted work here.
@@ -130,6 +135,7 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   res.balance = partition_balance(g, res.partition);
   res.coarsen_levels = gpu_lvls + mt_out.levels;
   res.coarsest_vertices = mt_out.coarsest_vertices;
+  res.exec += device_exec_stats(dev);
 
   if (log) {
     log->gpu_coarsen_levels = gpu_lvls;

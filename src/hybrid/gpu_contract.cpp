@@ -101,8 +101,11 @@ GpuGraph gpu_contract(Device& dev, const GpuGraph& fine,
                auto [cb, ce] = block(t);
                eid_t out = tp[t];  // start index from the first scan
                std::uint64_t work = 0;
-               ClusteredHashTable table(128);
-               std::vector<std::pair<vid_t, wgt_t>> scratch;
+               // Per-executor scratch: the table self-clears before each
+               // coarse vertex and scratch before each use, so reuse
+               // across logical threads and launches is free.
+               thread_local ClusteredHashTable table(128);
+               thread_local std::vector<std::pair<vid_t, wgt_t>> scratch;
                for (vid_t c = cb; c < ce; ++c) {
                  const vid_t v = ld[c];
                  const vid_t u = mt[v];

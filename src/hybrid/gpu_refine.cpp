@@ -100,6 +100,17 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
   int* S = counters.data();
   int* pc = proposed_ctr.data();
 
+  // Active-vertex flags (boundary tracking).  A vertex with no external
+  // neighbour can never produce a request (its `parts` list stays empty),
+  // and `where` only changes in the explore kernel, which re-activates the
+  // moved vertex and its neighbourhood.  The flag set therefore always
+  // covers the true boundary, and skipping unflagged vertices yields the
+  // exact proposal stream of a full scan — passes after the first touch
+  // only the cut region instead of all n vertices.
+  DeviceBuffer<char> active(dev, static_cast<std::size_t>(n), "active" + L);
+  active.fill(1);
+  char* act = active.data();
+
   // Stretch the pass budget (up to 8x) while a part is still overweight;
   // the check costs one tiny D2H per extension round, as a real
   // implementation would pay.
@@ -126,10 +137,21 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
         "uncoarsen/refine/propose" + L + "/p" + std::to_string(pass), T,
         [&](std::int64_t t) -> std::uint64_t {
           std::uint64_t work = 0;
-          std::vector<wgt_t> conn(static_cast<std::size_t>(k), 0);
-          std::vector<part_t> parts;
+          // Per-executor scratch (a real kernel would keep this in
+          // registers/local memory).  `conn` is restored to all-zero after
+          // every vertex via `parts`, so across logical threads and
+          // launches it only needs growing, never re-zeroing.
+          thread_local std::vector<wgt_t> conn;
+          thread_local std::vector<part_t> parts;
+          if (conn.size() < static_cast<std::size_t>(k)) {
+            conn.assign(static_cast<std::size_t>(k), 0);
+          }
           for (vid_t v = static_cast<vid_t>(t); v < n;
                v += static_cast<vid_t>(T)) {
+            if (!act[v]) {
+              ++work;
+              continue;
+            }
             const part_t pv = racy_load(wh[v]);
             const eid_t lo = adjp[v], hi = adjp[v + 1];
             work += static_cast<std::uint64_t>(hi - lo) + 1;
@@ -144,6 +166,9 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
               if (conn[static_cast<std::size_t>(pu)] == 0) parts.push_back(pu);
               conn[static_cast<std::size_t>(pu)] += adjwgt[j];
             }
+            // Refresh the flag from this scan: only the owning logical
+            // thread writes it, so a plain store suffices here.
+            act[v] = parts.empty() ? 0 : 1;
             const bool overweight = racy_load(pwd[pv]) > max_pw;
             part_t best = kInvalidPart;
             wgt_t best_conn = overweight
@@ -204,6 +229,14 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
             if (!ok) continue;
             atomic_add(pwd[q], rq.vw);
             racy_store(wh[rq.v], static_cast<part_t>(q));
+            // Re-activate the moved vertex and its neighbourhood so the
+            // next propose pass rescans exactly the changed region.
+            racy_store(act[rq.v], static_cast<char>(1));
+            const eid_t mlo = adjp[rq.v], mhi = adjp[rq.v + 1];
+            work += static_cast<std::uint64_t>(mhi - mlo);
+            for (eid_t j = mlo; j < mhi; ++j) {
+              racy_store(act[adjncy[j]], static_cast<char>(1));
+            }
             ++nc;
           }
           if (nc) atomic_add(*cc, static_cast<int>(nc));

@@ -770,6 +770,11 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
   res.balance = partition_balance(g, res.partition);
   res.coarsen_levels = gpu_lvls + mt_out.levels;
   res.coarsest_vertices = mt_out.coarsest_vertices;
+  for (const auto& dev : devices) {
+    res.exec += DeviceExecStats{dev->kernels_launched(), dev->pool_hits(),
+                                dev->pool_misses(),
+                                dev->pool_recycled_bytes()};
+  }
 
   if (log) {
     log->devices = D;

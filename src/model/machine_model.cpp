@@ -40,6 +40,24 @@ void CostLedger::charge_mt_pass(
   push(std::move(e));
 }
 
+void CostLedger::charge_mt_dynamic_pass(const std::string& label,
+                                        std::uint64_t total_work,
+                                        std::uint64_t max_chunk_work,
+                                        int num_threads) {
+  CostEntry e;
+  e.label = label;
+  e.work_units = total_work;
+  const double avg = num_threads > 0 ? static_cast<double>(total_work) /
+                                           static_cast<double>(num_threads)
+                                     : 0.0;
+  const double makespan =
+      std::max(avg, static_cast<double>(max_chunk_work));
+  e.imbalance = (avg > 0) ? makespan / avg : 1.0;
+  const double per_core_rate = model_.cpu_work_rate * model_.cpu_parallel_eff;
+  e.seconds = makespan / per_core_rate + model_.cpu_barrier_s;
+  push(std::move(e));
+}
+
 void CostLedger::charge_gpu_kernel(const std::string& label,
                                    std::uint64_t total_work,
                                    double imbalance) {

@@ -87,6 +87,17 @@ class CostLedger {
   void charge_mt_pass(const std::string& label,
                       const std::vector<std::uint64_t>& per_thread_work);
 
+  /// One barrier-synchronized multithreaded pass under DYNAMIC chunk
+  /// scheduling.  Which executor drains which chunk on this container is
+  /// host-scheduling noise (a one-core box funnels most chunks through
+  /// one worker), so the per-slot split must not be used as the model
+  /// input.  On the modeled `num_threads`-core testbed a greedy chunk
+  /// scheduler achieves the classic makespan bound
+  /// max(total/num_threads, heaviest chunk), which is what gets charged.
+  void charge_mt_dynamic_pass(const std::string& label,
+                              std::uint64_t total_work,
+                              std::uint64_t max_chunk_work, int num_threads);
+
   /// One GPU kernel launch; `per_chunk_work` is the measured work of each
   /// scheduling chunk (≈ warp), whose imbalance stretches the kernel.
   void charge_gpu_kernel(const std::string& label, std::uint64_t total_work,

@@ -24,6 +24,15 @@ struct MtContext {
   void charge_serial(const std::string& label, std::uint64_t work) const {
     if (ledger) ledger->charge_serial(label, work);
   }
+  /// For dynamically scheduled passes: per-slot splits reflect host
+  /// scheduling, not the algorithm, so charge total + heaviest chunk.
+  void charge_dynamic_pass(const std::string& label, std::uint64_t total_work,
+                           std::uint64_t max_chunk_work) const {
+    if (ledger) {
+      ledger->charge_mt_dynamic_pass(label, total_work, max_chunk_work,
+                                     threads());
+    }
+  }
 };
 
 }  // namespace gp

@@ -88,9 +88,11 @@ Partition mt_initial_partition(const CsrGraph& g, part_t k, double eps,
             for (std::int64_t i = b; i < e; ++i) {
               Rng rng(trial_seed + static_cast<std::uint64_t>(i) * 104729ULL);
               auto bis = gggp_bisect(task.graph, target0, rng, 1);
+              // gggp's cut is exact and FM tracks it exactly from there, so
+              // neither end of the refinement needs an O(E) cut rescan.
               fm_stats[static_cast<std::size_t>(i)] = fm_refine_bisection(
-                  task.graph, bis.side, min0, max0);
-              bis.cut = bisection_cut(task.graph, bis.side);
+                  task.graph, bis.side, min0, max0, 8, bis.cut);
+              bis.cut = fm_stats[static_cast<std::size_t>(i)].cut_after;
               results[static_cast<std::size_t>(i)] = std::move(bis);
             }
           });

@@ -16,15 +16,37 @@ MatchResult mt_match(const CsrGraph& g, const MtContext& ctx, int level,
   r.match.assign(static_cast<std::size_t>(n), kInvalidVid);
   vid_t* match = r.match.data();
 
-  std::vector<std::uint64_t> work(static_cast<std::size_t>(nt), 0);
   std::vector<std::uint64_t> conflicts(static_cast<std::size_t>(nt), 0);
 
-  // --- Round 1: unsynchronized HEM over owned blocks ---
-  ctx.pool->parallel_for_blocked(
-      n, [&](int t, std::int64_t b, std::int64_t e) {
-        // Per-thread RNG decorrelated by (seed, level, thread).
-        Rng rng(ctx.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(level) * 1000003ULL +
-                static_cast<std::uint64_t>(t));
+  // Work metering for the dynamic rounds: total plus heaviest chunk (the
+  // model inputs — see CostLedger::charge_mt_dynamic_pass).
+  std::atomic<std::uint64_t> total_w{0}, max_chunk_w{0};
+  auto meter_chunk = [&](std::uint64_t w) {
+    total_w.fetch_add(w, std::memory_order_relaxed);
+    std::uint64_t cur = max_chunk_w.load(std::memory_order_relaxed);
+    while (cur < w && !max_chunk_w.compare_exchange_weak(
+                          cur, w, std::memory_order_relaxed)) {
+    }
+  };
+
+  // --- Round 1: unsynchronized HEM, dynamically scheduled ---
+  // Vertex degrees are skewed (power-law graphs), so chunks are handed to
+  // workers from an atomic counter instead of static blocks: a worker that
+  // drew hubs does not gate the pass.  One RNG per *worker* (not per
+  // chunk), pre-created so the stream is decorrelated by (seed, level,
+  // worker) and — with one worker — consumed in the same ascending-vertex
+  // order as a single static block.
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    rngs.emplace_back(ctx.seed * 0x9E3779B97F4A7C15ULL +
+                      static_cast<std::uint64_t>(level) * 1000003ULL +
+                      static_cast<std::uint64_t>(t));
+  }
+  const std::int64_t grain = ctx.pool->dynamic_grain(n);
+  ctx.pool->parallel_for_dynamic(
+      n, grain, [&](int t, std::int64_t b, std::int64_t e) {
+        Rng& rng = rngs[static_cast<std::size_t>(t)];
         std::uint64_t w = 0;
         for (std::int64_t i = b; i < e; ++i) {
           const auto v = static_cast<vid_t>(i);
@@ -57,14 +79,16 @@ MatchResult mt_match(const CsrGraph& g, const MtContext& ctx, int level,
             racy_store(match[best], v);
           }
         }
-        work[static_cast<std::size_t>(t)] = w;
+        meter_chunk(w);
       });
-  ctx.charge_pass("coarsen/match/round1/L" + std::to_string(level), work);
+  ctx.charge_dynamic_pass("coarsen/match/round1/L" + std::to_string(level),
+                          total_w.load(), max_chunk_w.load());
 
-  // --- Round 2: conflict resolution ---
-  std::fill(work.begin(), work.end(), 0);
-  ctx.pool->parallel_for_blocked(
-      n, [&](int t, std::int64_t b, std::int64_t e) {
+  // --- Round 2: conflict resolution, dynamically scheduled too ---
+  total_w.store(0);
+  max_chunk_w.store(0);
+  ctx.pool->parallel_for_dynamic(
+      n, grain, [&](int t, std::int64_t b, std::int64_t e) {
         std::uint64_t w = 0, c = 0;
         for (std::int64_t i = b; i < e; ++i) {
           const auto v = static_cast<vid_t>(i);
@@ -82,10 +106,11 @@ MatchResult mt_match(const CsrGraph& g, const MtContext& ctx, int level,
             ++c;
           }
         }
-        work[static_cast<std::size_t>(t)] = w;
-        conflicts[static_cast<std::size_t>(t)] = c;
+        meter_chunk(w);
+        conflicts[static_cast<std::size_t>(t)] += c;
       });
-  ctx.charge_pass("coarsen/match/round2/L" + std::to_string(level), work);
+  ctx.charge_dynamic_pass("coarsen/match/round2/L" + std::to_string(level),
+                          total_w.load(), max_chunk_w.load());
 
   // --- cmap via parallel prefix sum (mt analogue of the paper's 4-kernel
   // GPU pipeline; tested to agree with build_cmap_serial) ---

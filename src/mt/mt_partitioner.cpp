@@ -40,7 +40,8 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
   out.coarsest_vertices = cur->num_vertices();
 
   Partition p = mt_initial_partition(*cur, opts.k, opts.eps, ctx);
-  mt_refine(*cur, p, opts.eps, opts.refine_passes, ctx, lvl);
+  mt_refine(*cur, p, opts.eps, opts.refine_passes, ctx, lvl,
+            /*cut_stats=*/false);
 
   for (std::size_t i = levels.size(); i-- > 0;) {
     const CsrGraph& fine = (i == 0) ? g : levels[i - 1].graph;
@@ -64,7 +65,7 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
                 static_cast<std::uint64_t>(std::max(1, ctx.threads()))));
     p.where = std::move(fine_where);
     mt_refine(fine, p, opts.eps, opts.refine_passes, ctx,
-              static_cast<int>(level_offset + i));
+              static_cast<int>(level_offset + i), /*cut_stats=*/false);
   }
   out.partition = std::move(p);
   return out;

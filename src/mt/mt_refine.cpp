@@ -20,9 +20,10 @@ struct MoveRequest {
 }  // namespace
 
 MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
-                        int max_passes, const MtContext& ctx, int level) {
+                        int max_passes, const MtContext& ctx, int level,
+                        bool cut_stats) {
   MtRefineStats stats;
-  stats.cut_before = edge_cut(g, p);
+  if (cut_stats) stats.cut_before = edge_cut(g, p);
   const vid_t n = g.num_vertices();
   const int nt = ctx.threads();
   const wgt_t total = g.total_vertex_weight();
@@ -37,6 +38,15 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
   // partition where the threads insert their movement requests").
   std::vector<std::vector<MoveRequest>> buffers(
       static_cast<std::size_t>(p.k));
+  std::vector<std::mutex> buf_mutex(static_cast<std::size_t>(p.k));
+
+  // Active-vertex flags (boundary tracking).  Vertices without an external
+  // neighbour can never produce a request, and `where` only changes in the
+  // explore kernel, which re-activates the moved vertex's neighbourhood —
+  // so skipping unflagged vertices yields the exact proposal stream of a
+  // full scan while passes after the first touch only the cut region.
+  std::vector<char> active(static_cast<std::size_t>(n), 1);
+  char* act = active.data();
 
   // The pass budget stretches (up to 8x) while the balance constraint is
   // still violated — the paper's "balance ... is guaranteed by continuing
@@ -59,7 +69,6 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
     const bool upward = (pass % 2 == 0);
 
     for (auto& buf : buffers) buf.clear();
-    std::vector<std::mutex> buf_mutex(static_cast<std::size_t>(p.k));
 
     // --- propose kernel: threads scan owned vertices ---
     std::vector<std::uint64_t> work(static_cast<std::size_t>(nt), 0);
@@ -71,6 +80,10 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
           std::vector<part_t> parts;
           for (std::int64_t i = b; i < e; ++i) {
             const auto v = static_cast<vid_t>(i);
+            if (!act[v]) {
+              w += 1;
+              continue;
+            }
             const part_t pv = where[v];
             const auto nbrs = g.neighbors(v);
             const auto wts = g.neighbor_weights(v);
@@ -86,6 +99,8 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
               if (conn[static_cast<std::size_t>(pu)] == 0) parts.push_back(pu);
               conn[static_cast<std::size_t>(pu)] += wts[j];
             }
+            // Refresh from this scan; only the owning thread writes here.
+            act[v] = parts.empty() ? 0 : 1;
             // Overweight sources may evict at any gain (the balancing
             // companion of the gain rule); balanced sources move only on
             // strictly positive gain.
@@ -158,6 +173,14 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
               }
               atomic_add(pwd[q], vw);
               racy_store(where[req.v], static_cast<part_t>(q));
+              // Re-activate the moved vertex and its neighbourhood so the
+              // next propose pass rescans exactly the changed region.
+              racy_store(act[req.v], static_cast<char>(1));
+              const auto mn = g.neighbors(req.v);
+              w += mn.size();
+              for (const vid_t u : mn) {
+                racy_store(act[u], static_cast<char>(1));
+              }
               ++nc;
             }
           }
@@ -177,7 +200,66 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
     idle_passes = (committed.load() == 0) ? idle_passes + 1 : 0;
     if (idle_passes >= 2) break;
   }
-  stats.cut_after = edge_cut(g, p);
+
+  // --- forced balance cleanup ---
+  // The alternating-direction drain can go idle with a part still a few
+  // units overweight: its admissible targets may all be at capacity in
+  // both directions, and race outcomes decide whether that corner is hit.
+  // The balance constraint is a guarantee, not a preference, so finish
+  // the job serially: evict the minimum-damage vertex from each
+  // overweight part (any underweight destination admissible) until every
+  // part fits.  Violations at this point are tiny, so the serial scans
+  // are cheap relative to the passes above.
+  std::uint64_t cleanup_work = 0;
+  bool progress = true;
+  while (progress && max_pw_violated()) {
+    progress = false;
+    for (part_t q = 0; q < p.k; ++q) {
+      if (pwd[static_cast<std::size_t>(q)] <= max_pw) continue;
+      vid_t best_v = kInvalidVid;
+      part_t best_to = kInvalidPart;
+      wgt_t best_score = std::numeric_limits<wgt_t>::min();
+      std::vector<wgt_t> conn(static_cast<std::size_t>(p.k), 0);
+      for (vid_t v = 0; v < n; ++v) {
+        if (where[v] != q) continue;
+        const wgt_t vw = g.vertex_weight(v);
+        if (pwd[static_cast<std::size_t>(q)] - vw < min_pw) continue;
+        const auto nbrs = g.neighbors(v);
+        const auto wts = g.neighbor_weights(v);
+        cleanup_work += nbrs.size() + 1;
+        std::fill(conn.begin(), conn.end(), 0);
+        wgt_t internal = 0;
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          const part_t pu = where[nbrs[j]];
+          if (pu == q) internal += wts[j];
+          else conn[static_cast<std::size_t>(pu)] += wts[j];
+        }
+        for (part_t r = 0; r < p.k; ++r) {
+          if (r == q) continue;
+          if (pwd[static_cast<std::size_t>(r)] + vw > max_pw) continue;
+          const wgt_t score = conn[static_cast<std::size_t>(r)] - internal;
+          if (score > best_score) {
+            best_score = score;
+            best_v = v;
+            best_to = r;
+          }
+        }
+      }
+      if (best_v == kInvalidVid) continue;  // nothing admissible from q
+      const wgt_t vw = g.vertex_weight(best_v);
+      where[best_v] = best_to;
+      pwd[static_cast<std::size_t>(q)] -= vw;
+      pwd[static_cast<std::size_t>(best_to)] += vw;
+      ++stats.committed;
+      progress = true;
+    }
+  }
+  if (cleanup_work > 0) {
+    ctx.charge_serial("uncoarsen/refine/balance/L" + std::to_string(level),
+                      cleanup_work);
+  }
+
+  if (cut_stats) stats.cut_after = edge_cut(g, p);
   return stats;
 }
 

@@ -22,7 +22,11 @@ struct MtRefineStats {
 };
 
 /// In-place buffered refinement.  `level` only labels ledger entries.
+/// `cut_stats` controls whether cut_before/cut_after are filled in — each
+/// is a full O(E) scan, and the driving partitioner does not read them,
+/// so it passes false; tests and ablation benches keep the default.
 MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
-                        int max_passes, const MtContext& ctx, int level);
+                        int max_passes, const MtContext& ctx, int level,
+                        bool cut_stats = true);
 
 }  // namespace gp

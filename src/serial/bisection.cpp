@@ -8,6 +8,106 @@ namespace gp {
 
 namespace {
 
+/// Max-heap over (gain, vertex) used by the FM drain.  Entries order
+/// exactly like std::pair<wgt_t, vid_t>, and any correct max-heap pops the
+/// same value sequence, so results are bit-identical to a
+/// std::priority_queue while the hot path runs on a flat 4-ary heap of
+/// packed 8-byte keys (gain biased into the high 32 bits, vertex id low).
+/// Packing requires |gain| to fit 31 bits — gains never exceed a vertex's
+/// weighted degree, so the caller picks the mode from that bound once per
+/// graph; the pair-heap fallback covers arbitrarily heavy graphs.
+class GainHeap {
+ public:
+  void reset(bool packed) {
+    packed_ = packed;
+    pk_.clear();
+    pr_.clear();
+  }
+  void clear() {
+    pk_.clear();
+    pr_.clear();
+  }
+  [[nodiscard]] bool empty() const {
+    return packed_ ? pk_.empty() : pr_.empty();
+  }
+  /// Append without restoring the heap property (bulk seeding).
+  void append(wgt_t gain, vid_t v) {
+    if (packed_) pk_.push_back(pack(gain, v));
+    else pr_.emplace_back(gain, v);
+  }
+  /// Restore the heap property after a sequence of append()s.
+  void build() {
+    if (packed_) {
+      for (std::size_t i = 1; i < pk_.size(); ++i) sift_up(i);
+    } else {
+      std::make_heap(pr_.begin(), pr_.end());
+    }
+  }
+  void push(wgt_t gain, vid_t v) {
+    if (packed_) {
+      pk_.push_back(pack(gain, v));
+      sift_up(pk_.size() - 1);
+    } else {
+      pr_.emplace_back(gain, v);
+      std::push_heap(pr_.begin(), pr_.end());
+    }
+  }
+  std::pair<wgt_t, vid_t> pop() {
+    if (!packed_) {
+      std::pop_heap(pr_.begin(), pr_.end());
+      const auto top = pr_.back();
+      pr_.pop_back();
+      return top;
+    }
+    const std::uint64_t top = pk_[0];
+    const std::uint64_t last = pk_.back();
+    pk_.pop_back();
+    if (!pk_.empty()) {
+      // Sift the former tail down from the root (4 children per node).
+      std::size_t i = 0;
+      const std::size_t n = pk_.size();
+      for (;;) {
+        const std::size_t c0 = 4 * i + 1;
+        if (c0 >= n) break;
+        std::size_t best = c0;
+        const std::size_t ce = std::min(c0 + 4, n);
+        for (std::size_t c = c0 + 1; c < ce; ++c) {
+          if (pk_[c] > pk_[best]) best = c;
+        }
+        if (pk_[best] <= last) break;
+        pk_[i] = pk_[best];
+        i = best;
+      }
+      pk_[i] = last;
+    }
+    return {static_cast<wgt_t>(static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(top >> 32) - 0x80000000u)),
+            static_cast<vid_t>(static_cast<std::uint32_t>(top))};
+  }
+
+ private:
+  static std::uint64_t pack(wgt_t gain, vid_t v) {
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(gain) + 0x80000000u)
+            << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+  void sift_up(std::size_t i) {
+    const std::uint64_t x = pk_[i];
+    while (i > 0) {
+      const std::size_t p = (i - 1) / 4;
+      if (pk_[p] >= x) break;
+      pk_[i] = pk_[p];
+      i = p;
+    }
+    pk_[i] = x;
+  }
+
+  bool packed_ = true;
+  std::vector<std::uint64_t> pk_;
+  std::vector<std::pair<wgt_t, vid_t>> pr_;
+};
+
 /// gain of moving v to the other side = external - internal arc weight.
 wgt_t move_gain(const CsrGraph& g, const std::vector<part_t>& side, vid_t v) {
   const auto nbrs = g.neighbors(v);
@@ -62,6 +162,7 @@ BisectionResult gggp_bisect(const CsrGraph& g, wgt_t target0, Rng& rng,
     const vid_t seed = static_cast<vid_t>(
         rng.next_below(static_cast<std::uint64_t>(n)));
     wgt_t w0 = 0;
+    wgt_t cut = 0;
     vid_t grown = 0;
 
     auto grow = [&](vid_t v) {
@@ -71,9 +172,18 @@ BisectionResult gggp_bisect(const CsrGraph& g, wgt_t target0, Rng& rng,
       const auto nbrs = g.neighbors(v);
       const auto wts = g.neighbor_weights(v);
       work += nbrs.size();
+      // Moving v across adds its side-1 arcs to the cut and removes its
+      // side-0 arcs: delta = total - 2*internal.  Tracking this here keeps
+      // cut exact without the O(E) full rescan per trial.
+      wgt_t tot = 0, internal = 0;
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const vid_t u = nbrs[i];
-        if (side[static_cast<std::size_t>(u)] == 0) continue;
+        if (u == v) continue;  // self-arcs never cross the cut
+        tot += wts[i];
+        if (side[static_cast<std::size_t>(u)] == 0) {
+          internal += wts[i];
+          continue;
+        }
         // Moving u into the region removes arc {u, region} from the cut
         // and adds its remaining side-1 arcs: gain = 2*internal - degree_w.
         gain[static_cast<std::size_t>(u)] += 2 * wts[i];
@@ -87,6 +197,7 @@ BisectionResult gggp_bisect(const CsrGraph& g, wgt_t target0, Rng& rng,
         }
         frontier.emplace(gain[static_cast<std::size_t>(u)], u);
       }
+      cut += tot - 2 * internal;
     };
 
     grow(seed);
@@ -115,9 +226,9 @@ BisectionResult gggp_bisect(const CsrGraph& g, wgt_t target0, Rng& rng,
 
     BisectionResult cur;
     cur.side = std::move(side);
-    cur.cut = bisection_cut(g, cur.side);
+    cur.cut = cut;
     cur.weight0 = w0;
-    cur.work_units = work + static_cast<std::uint64_t>(g.num_arcs());
+    cur.work_units = work;
     if (cur.cut < best.cut) best = std::move(cur);
     else best.work_units += cur.work_units;
   }
@@ -125,10 +236,11 @@ BisectionResult gggp_bisect(const CsrGraph& g, wgt_t target0, Rng& rng,
 }
 
 FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
-                            wgt_t min0, wgt_t max0, int max_passes) {
+                            wgt_t min0, wgt_t max0, int max_passes,
+                            wgt_t cut_hint) {
   const vid_t n = g.num_vertices();
   FmStats stats;
-  stats.cut_before = bisection_cut(g, side);
+  stats.cut_before = (cut_hint >= 0) ? cut_hint : bisection_cut(g, side);
   wgt_t cur_cut = stats.cut_before;
 
   wgt_t w0 = 0;
@@ -142,40 +254,59 @@ FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
   // delta to a stale entry would corrupt the cut accounting.
   std::vector<int> gain_pass(static_cast<std::size_t>(n), -1);
 
+  // Heap key mode: a gain never exceeds the vertex's weighted degree, so
+  // the packed 8-byte heap is exact whenever the heaviest vertex stays
+  // comfortably inside 31 bits.
+  wgt_t maxwdeg = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    wgt_t s = 0;
+    for (const wgt_t w : g.neighbor_weights(v)) s += w;
+    maxwdeg = std::max(maxwdeg, s);
+  }
+  GainHeap heap;
+  heap.reset(maxwdeg < (wgt_t{1} << 30));
+  std::vector<vid_t> move_seq;
+
   for (int pass = 0; pass < max_passes; ++pass) {
     ++stats.passes;
     std::fill(moved.begin(), moved.end(), 0);
 
-    std::priority_queue<std::pair<wgt_t, vid_t>> pq;
-    // Seed with boundary vertices.
+    // Seed with boundary vertices.  One fused neighbour scan both detects
+    // the boundary and accumulates the move gain.
+    heap.clear();
     for (vid_t v = 0; v < n; ++v) {
       const part_t sv = side[static_cast<std::size_t>(v)];
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.neighbor_weights(v);
+      wgt_t gn = 0;
       bool boundary = false;
-      for (const vid_t u : g.neighbors(v)) {
-        if (side[static_cast<std::size_t>(u)] != sv) {
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (side[static_cast<std::size_t>(nbrs[i])] != sv) {
+          gn += wts[i];
           boundary = true;
-          break;
+        } else {
+          gn -= wts[i];
         }
       }
       stats.work_units += 1;
       if (boundary) {
-        gain[static_cast<std::size_t>(v)] = move_gain(g, side, v);
+        gain[static_cast<std::size_t>(v)] = gn;
         gain_pass[static_cast<std::size_t>(v)] = pass;
         stats.work_units += static_cast<std::uint64_t>(g.degree(v));
-        pq.emplace(gain[static_cast<std::size_t>(v)], v);
+        heap.append(gn, v);
       }
     }
+    heap.build();
 
     // FM pass: move vertices one at a time (hill-climbing allowed),
     // remember the best prefix, roll back the rest.
-    std::vector<vid_t> move_seq;
+    move_seq.clear();
     wgt_t best_cut = cur_cut;
     std::size_t best_prefix = 0;
     wgt_t sim_cut = cur_cut;
 
-    while (!pq.empty()) {
-      const auto [gn, v] = pq.top();
-      pq.pop();
+    while (!heap.empty()) {
+      const auto [gn, v] = heap.pop();
       if (moved[static_cast<std::size_t>(v)]) continue;
       if (gn != gain[static_cast<std::size_t>(v)]) continue;  // stale
       // Balance check for the move.
@@ -218,7 +349,7 @@ FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
           gain_pass[static_cast<std::size_t>(u)] = pass;
           stats.work_units += static_cast<std::uint64_t>(g.degree(u));
         }
-        pq.emplace(gain[static_cast<std::size_t>(u)], u);
+        heap.push(gain[static_cast<std::size_t>(u)], u);
       }
     }
 

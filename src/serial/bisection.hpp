@@ -35,8 +35,14 @@ struct FmStats {
 /// Kernighan-Lin" of Metis): repeated passes of single-vertex moves with
 /// hill-climbing and rollback to the best prefix, under the balance
 /// window [min0, max0] for side-0 weight.
+///
+/// `cut_hint`, when >= 0, is trusted as the exact current cut of `side`
+/// (callers coming straight from gggp_bisect already know it) and skips
+/// the O(E) recompute; FM tracks the cut exactly from there, so
+/// `cut_after` always equals bisection_cut of the refined side.
 FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
-                            wgt_t min0, wgt_t max0, int max_passes = 8);
+                            wgt_t min0, wgt_t max0, int max_passes = 8,
+                            wgt_t cut_hint = -1);
 
 /// Cut of a 2-way partition given as a side vector.
 [[nodiscard]] wgt_t bisection_cut(const CsrGraph& g,

@@ -44,7 +44,8 @@ void rb_rec(const CsrGraph& g, const std::vector<vid_t>& ids, part_t k,
   const wgt_t min0 = std::max<wgt_t>(k0, target0 - slack);
   const wgt_t max0 =
       std::min<wgt_t>(total - (k - k0), target0 + slack);
-  auto fm = fm_refine_bisection(g, bis.side, min0, max0, ctx.fm_passes);
+  auto fm = fm_refine_bisection(g, bis.side, min0, max0, ctx.fm_passes,
+                                bis.cut);
   if (ctx.stats) ctx.stats->work_units += fm.work_units;
 
   // Split into the two induced subgraphs and recurse.

@@ -2,63 +2,149 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace gp {
 
+namespace {
+
+// Spin budget before parking.  The container may have fewer cores than
+// workers (often just one), so the budget is short and yields its
+// timeslice for the second half — a worker that spins hard on a one-core
+// box only delays the job it is waiting for.
+constexpr int kSpinPause = 64;
+constexpr int kSpinYield = 32;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
-  num_threads = std::max(1, num_threads);
+  // The job word packs the participating-worker count into 16 bits.
+  num_threads = std::min(std::max(1, num_threads), 0xffff);
   workers_.reserve(static_cast<std::size_t>(num_threads));
   for (int t = 0; t < num_threads; ++t) {
-    workers_.emplace_back([this, t] { worker_loop(t); });
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (int t = 0; t < num_threads; ++t) {
+    workers_[static_cast<std::size_t>(t)]->thread =
+        std::thread([this, t] { worker_loop(t); });
   }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+  if (std::getenv("GP_POOL_STATS")) {
+    std::fprintf(stderr, "[pool %d threads] %llu dispatches\n", size(),
+                 static_cast<unsigned long long>(dispatch_count()));
   }
-  cv_start_.notify_all();
-  for (auto& w : workers_) w.join();
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mutex);
+    w->cv.notify_one();
+  }
+  for (auto& w : workers_) w->thread.join();
 }
 
 void ThreadPool::worker_loop(int id) {
-  std::uint64_t seen = 0;
+  Worker& me = *workers_[static_cast<std::size_t>(id)];
+  std::uint64_t seen = 0;  // generation part of the last job word seen
   for (;;) {
-    const std::function<void(int)>* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      job = job_;
+    // --- wait for a new generation: spin, then park ---
+    std::uint64_t jw;
+    int spins = 0;
+    while (((jw = job_word_.load(std::memory_order_acquire)) >> 16) == seen) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      ++spins;
+      if (spins <= kSpinPause) {
+        cpu_relax();
+      } else if (spins <= kSpinPause + kSpinYield) {
+        std::this_thread::yield();
+      } else {
+        std::unique_lock<std::mutex> lock(me.mutex);
+        me.parked.store(true, std::memory_order_seq_cst);
+        // The seq_cst store above and seq_cst load below pair with the
+        // dispatcher's seq_cst publish-then-check (Dekker): either the
+        // dispatcher sees parked and notifies, or this predicate sees
+        // the new generation and skips the sleep.
+        me.cv.wait(lock, [&] {
+          return stop_.load(std::memory_order_relaxed) ||
+                 (job_word_.load(std::memory_order_seq_cst) >> 16) != seen;
+        });
+        me.parked.store(false, std::memory_order_relaxed);
+        spins = 0;
+      }
     }
-    (*job)(id);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--remaining_ == 0) cv_done_.notify_all();
+    seen = jw >> 16;
+    // --- execute this worker's slot, if the job includes it ---
+    if (id < static_cast<int>(jw & 0xffff)) {
+      invoke_(ctx_, id);
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last finisher: the dispatcher may have parked.  Taking the lock
+        // (even when nobody waits) closes the missed-wakeup window — the
+        // dispatcher re-checks remaining_ under this mutex before
+        // sleeping.
+        std::lock_guard<std::mutex> lock(done_mutex_);
+        done_cv_.notify_one();
+      }
     }
   }
 }
 
-void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  job_ = &fn;
-  remaining_ = size();
-  ++generation_;
-  cv_start_.notify_all();
-  cv_done_.wait(lock, [&] { return remaining_ == 0; });
-  job_ = nullptr;
-}
+void ThreadPool::dispatch(int n_slots, void (*invoke)(void*, int),
+                          void* ctx) {
+  assert(n_slots >= 1 && n_slots <= size());
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  if (n_slots == 1) {
+    // Single-slot jobs (tiny kernels, one-thread pools) run inline: no
+    // concurrency is possible with one executor, so no synchronization is
+    // owed either.
+    invoke(ctx, 0);
+    return;
+  }
+  const int n_workers = n_slots - 1;  // the caller runs slot n_slots-1
+  invoke_ = invoke;
+  ctx_ = ctx;
+  remaining_.store(n_workers, std::memory_order_relaxed);
+  const std::uint64_t gen = (job_word_.load(std::memory_order_relaxed) >> 16) + 1;
+  job_word_.store((gen << 16) | static_cast<std::uint64_t>(n_workers),
+                  std::memory_order_seq_cst);
+  // Wake exactly the parked participants; spinning ones see the store.
+  // A worker that decided to park after we looked re-checks the job word
+  // under its mutex before sleeping (seq_cst Dekker pairing above), so
+  // the publish is never missed.
+  for (int w = 0; w < n_workers; ++w) {
+    Worker& wk = *workers_[static_cast<std::size_t>(w)];
+    if (wk.parked.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(wk.mutex);
+      wk.cv.notify_one();
+    }
+  }
 
-void ThreadPool::parallel_for_blocked(
-    std::int64_t n,
-    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
-  const int nt = size();
-  run_on_all([&, n, nt](int t) {
-    auto [b, e] = block_range(n, nt, t);
-    if (b < e) fn(t, b, e);
-  });
+  invoke(ctx, n_slots - 1);  // caller's slot
+
+  // --- join: spin, then park on done_cv_ ---
+  int spins = 0;
+  while (remaining_.load(std::memory_order_acquire) != 0) {
+    ++spins;
+    if (spins <= kSpinPause) {
+      cpu_relax();
+    } else if (spins <= kSpinPause + kSpinYield) {
+      std::this_thread::yield();
+    } else {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      done_cv_.wait(lock, [&] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
+      break;
+    }
+  }
 }
 
 std::pair<std::int64_t, std::int64_t> ThreadPool::block_range(std::int64_t n,

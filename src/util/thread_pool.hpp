@@ -1,4 +1,4 @@
-// Persistent worker-thread pool with a fork-join parallel_for.
+// Persistent worker-thread pool with fork-join and dynamic parallel_for.
 //
 // The mt-metis reimplementation (src/mt) and the simulated CUDA device
 // (src/gpu) both execute their logical parallelism on this pool.  The pool
@@ -6,13 +6,33 @@
 // reproduction runs in may have a single core, yet the algorithms under
 // study are *defined* by how T logical threads race on shared arrays, so
 // the pool preserves that concurrency structure regardless of core count.
+//
+// Execution engine (see DESIGN.md §3.1):
+//
+//   * Jobs are published through an atomic generation counter plus a raw
+//     function-pointer trampoline — no std::function allocation and no
+//     mutex on the dispatch fast path.  Workers spin briefly on the
+//     generation counter and park on a per-worker condition variable when
+//     no job arrives (spin-then-park, sized for few-core containers).
+//   * The dispatching thread participates as the last executor slot, so a
+//     job that needs S slots wakes only S-1 workers, and a job with a
+//     single slot runs inline with zero synchronization — the common case
+//     for the many tiny kernels of the coarse V-cycle levels.
+//   * parallel_for_blocked keeps the static ownership ranges the
+//     mt-metis-style algorithms are defined by; parallel_for_dynamic adds
+//     an atomic-chunk-counter schedule with a tunable grain for
+//     degree-skewed loops (USA-roads/delaunay irregularity) where the
+//     slowest static block would serialize the pass.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/types.hpp"
@@ -30,42 +50,122 @@ class ThreadPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Runs `fn(thread_id)` once on every worker and waits for all of them.
-  /// This is the SPMD primitive: each invocation sees its own thread id and
-  /// typically derives its vertex range from it.
-  void run_on_all(const std::function<void(int)>& fn);
+  /// Runs `fn(thread_id)` once for every thread id in [0, size()) and
+  /// waits for all of them.  This is the SPMD primitive: each invocation
+  /// sees its own thread id and typically derives its vertex range from
+  /// it.  The calling thread executes one of the slots itself.
+  template <typename F>
+  void run_on_all(F&& fn) {
+    auto body = [&fn](int id) { fn(id); };
+    dispatch(size(), &trampoline<decltype(body)>, &body);
+  }
 
   /// Splits [0, n) into `size()` contiguous blocks and runs
-  /// `fn(thread_id, begin, end)` per block in parallel.  Blocks are the
-  /// static ownership ranges used by the mt-metis-style algorithms.
-  void parallel_for_blocked(
-      std::int64_t n,
-      const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+  /// `fn(thread_id, begin, end)` per non-empty block in parallel.  Blocks
+  /// are the static ownership ranges used by the mt-metis-style
+  /// algorithms.
+  template <typename F>
+  void parallel_for_blocked(std::int64_t n, F&& fn) {
+    if (n <= 0) return;
+    const int nt = size();
+    auto body = [nt, n, &fn](int t) {
+      const auto [b, e] = block_range(n, nt, t);
+      if (b < e) fn(t, b, e);
+    };
+    dispatch(static_cast<int>(std::min<std::int64_t>(nt, n)),
+             &trampoline<decltype(body)>, &body);
+  }
+
+  /// Dynamically-scheduled parallel_for: chunks of `grain` items are
+  /// handed to whichever executor asks next (atomic chunk counter), so a
+  /// few heavy chunks cannot serialize the pass on one static block.
+  /// `fn(thread_id, begin, end)` runs per chunk; a thread id may receive
+  /// many chunks, and with one executor the chunks arrive in index order
+  /// (which keeps single-threaded runs bit-deterministic).
+  template <typename F>
+  void parallel_for_dynamic(std::int64_t n, std::int64_t grain, F&& fn) {
+    if (n <= 0) return;
+    if (grain < 1) grain = 1;
+    const std::int64_t n_chunks = (n + grain - 1) / grain;
+    std::atomic<std::int64_t> next{0};
+    auto body = [n, grain, &next, &fn](int t) {
+      for (;;) {
+        const std::int64_t b = next.fetch_add(grain, std::memory_order_relaxed);
+        if (b >= n) break;
+        fn(t, b, std::min<std::int64_t>(b + grain, n));
+      }
+    };
+    dispatch(static_cast<int>(std::min<std::int64_t>(size(), n_chunks)),
+             &trampoline<decltype(body)>, &body);
+  }
+
+  /// Default dynamic grain for an n-item loop on this pool: ~16 chunks
+  /// per executor, clamped so tiny loops stay one chunk and huge loops
+  /// keep the counter traffic negligible.
+  [[nodiscard]] std::int64_t dynamic_grain(std::int64_t n) const {
+    const auto nt = static_cast<std::int64_t>(size());
+    std::int64_t g = n / (nt * 16);
+    if (g < 64) g = 64;
+    if (g > 65536) g = 65536;
+    return g;
+  }
 
   /// Static block ownership helper: [begin, end) of thread `t` over n items.
   static std::pair<std::int64_t, std::int64_t> block_range(std::int64_t n,
                                                            int num_threads,
                                                            int t);
 
+  /// Number of jobs dispatched so far (inline single-slot jobs included).
+  /// Observability hook for tests and the GP_POOL_STATS dump.
+  [[nodiscard]] std::uint64_t dispatch_count() const {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+
  private:
+  template <typename F>
+  static void trampoline(void* ctx, int id) {
+    (*static_cast<F*>(ctx))(id);
+  }
+
+  /// Publishes (invoke, ctx) to `n_slots` executors: workers 0..n_slots-2
+  /// run slots equal to their worker id, the caller runs slot n_slots-1.
+  /// Blocks until every slot has finished.  n_slots == 1 runs inline.
+  void dispatch(int n_slots, void (*invoke)(void*, int), void* ctx);
+
   void worker_loop(int id);
 
-  std::vector<std::thread> workers_;
+  /// One parking slot per worker so the dispatcher can wake exactly the
+  /// workers a job needs (and an idle pool costs nothing).
+  struct alignas(64) Worker {
+    std::thread             thread;
+    std::mutex              mutex;
+    std::condition_variable cv;
+    std::atomic<bool>       parked{false};
+  };
 
-  std::mutex              mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int           remaining_  = 0;
-  bool          stop_       = false;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Job publication.  Generation counter and participating-worker count
+  // are packed into ONE atomic word so a worker can never pair a stale
+  // generation with the next job's slot count: (generation << 16) |
+  // n_active_workers.  Plain stores to invoke_/ctx_ are ordered before
+  // the store of job_word_; workers load job_word_ before reading them.
+  std::atomic<std::uint64_t> job_word_{0};
+  void (*invoke_)(void*, int) = nullptr;
+  void*            ctx_ = nullptr;
+  std::atomic<int> remaining_{0};  ///< workers still running this job
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> dispatches_{0};
+
+  // Completion parking for the dispatching thread.
+  std::mutex              done_mutex_;
+  std::condition_variable done_cv_;
 };
 
 /// Convenience: serial fallback parallel_for over [0,n) with chunked
 /// callback, used where a pool is optional.
-inline void serial_for_blocked(
-    std::int64_t n, int pseudo_threads,
-    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+template <typename F>
+inline void serial_for_blocked(std::int64_t n, int pseudo_threads, F&& fn) {
   for (int t = 0; t < pseudo_threads; ++t) {
     auto [b, e] = ThreadPool::block_range(n, pseudo_threads, t);
     if (b < e) fn(t, b, e);

@@ -34,6 +34,26 @@ TEST(Device, AllocationAccounting) {
   EXPECT_EQ(dev.allocated_bytes(), 0u);
 }
 
+TEST(Device, BufferPoolRecyclesAndRezeroes) {
+  Device dev(small_device());
+  const auto misses0 = dev.pool_misses();
+  {
+    DeviceBuffer<int> a(dev, 100, "a");
+    for (std::size_t i = 0; i < 100; ++i) a.data()[i] = 0x5aa5;  // garbage
+  }
+  EXPECT_EQ(dev.pool_misses(), misses0 + 1);
+  const auto hits0 = dev.pool_hits();
+  // Same size: must come back from the pool, and zero-filled (the
+  // cudaMalloc-the-simulated-way contract callers rely on).
+  DeviceBuffer<int> b(dev, 100, "b");
+  EXPECT_EQ(dev.pool_hits(), hits0 + 1);
+  EXPECT_GE(dev.pool_recycled_bytes(), 400u);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_EQ(b.data()[i], 0);
+  // A different size bucket misses.
+  DeviceBuffer<int> c(dev, 4096, "c");
+  EXPECT_EQ(dev.pool_hits(), hits0 + 1);
+}
+
 TEST(Device, OutOfMemoryThrows) {
   Device dev(small_device());
   EXPECT_THROW(DeviceBuffer<char>(dev, (1 << 20) + 1, "big"),

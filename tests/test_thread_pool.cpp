@@ -1,0 +1,189 @@
+// Tests for the pool execution engine (DESIGN.md §3.1): dynamic
+// scheduling correctness under skewed work, barrier stress across many
+// back-to-back generations, single-executor chunk-order determinism, and
+// the bit-identical deterministic-partition regression gate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "gen/generators.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gp {
+namespace {
+
+TEST(ThreadPoolDynamic, EachIndexExactlyOnceUnderSkewedWork) {
+  ThreadPool pool(8);
+  const std::int64_t n = 20000;
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  // Skew: the first chunk's indices carry almost all the work, so a
+  // static block schedule would serialize on executor 0.  Dynamic
+  // chunks must still cover every index exactly once.
+  std::atomic<std::uint64_t> sink{0};
+  pool.parallel_for_dynamic(n, 256, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      if (i < 256) {
+        std::uint64_t x = static_cast<std::uint64_t>(i) + 1;
+        for (int it = 0; it < 20000; ++it) x = x * 6364136223846793005ULL + 1;
+        sink += x;
+      }
+      std::atomic_ref<int>(hits[static_cast<std::size_t>(i)]).fetch_add(1);
+    }
+  });
+  for (const int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ThreadPoolDynamic, GrainNotDividingNCoversTail) {
+  ThreadPool pool(3);
+  const std::int64_t n = 1000;  // 1000 = 7 * 142 + 6: ragged tail chunk
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  pool.parallel_for_dynamic(n, 142, [&](int t, std::int64_t b, std::int64_t e) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, pool.size());
+    EXPECT_LT(b, e);
+    EXPECT_LE(e, n);
+    for (std::int64_t i = b; i < e; ++i) {
+      std::atomic_ref<int>(hits[static_cast<std::size_t>(i)]).fetch_add(1);
+    }
+  });
+  for (const int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ThreadPoolDynamic, SingleExecutorChunksArriveInAscendingOrder) {
+  // With one executor the atomic chunk counter degenerates to a serial
+  // ascending sweep — the property the deterministic (threads=1) runs
+  // rely on for bit-identical results.
+  ThreadPool pool(1);
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  pool.parallel_for_dynamic(1000, 128,
+                            [&](int t, std::int64_t b, std::int64_t e) {
+                              EXPECT_EQ(t, 0);
+                              chunks.emplace_back(b, e);
+                            });
+  ASSERT_EQ(chunks.size(), 8u);
+  std::int64_t expect_begin = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expect_begin);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, 1000);
+}
+
+TEST(ThreadPoolDynamic, GrainDefaultIsClamped) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.dynamic_grain(10), 64);              // lower clamp
+  EXPECT_EQ(pool.dynamic_grain(1 << 30), 65536);      // upper clamp
+  EXPECT_EQ(pool.dynamic_grain(640000), 10000);       // n / (nt * 16)
+}
+
+TEST(ThreadPoolBarrier, StressManyBackToBackGenerations) {
+  // Hammer the generation-counter barrier: many small jobs dispatched
+  // back to back, alternating primitive and slot count, so workers keep
+  // racing between spin, park, and wake.
+  ThreadPool pool(7);
+  const int rounds = 400;
+  std::vector<std::atomic<int>> slot_runs(7);
+  for (auto& s : slot_runs) s = 0;
+  std::int64_t blocked_total = 0;
+  for (int r = 0; r < rounds; ++r) {
+    pool.run_on_all(
+        [&](int t) { slot_runs[static_cast<std::size_t>(t)]++; });
+    // Varying n exercises dispatches with fewer slots than workers
+    // (n < size() dispatches only n slots).
+    const std::int64_t n = 1 + (r % 13);
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for_blocked(n, [&](int, std::int64_t b, std::int64_t e) {
+      sum += e - b;
+    });
+    blocked_total += sum.load();
+  }
+  for (const auto& s : slot_runs) EXPECT_EQ(s.load(), rounds);
+  std::int64_t expect = 0;
+  for (int r = 0; r < rounds; ++r) expect += 1 + (r % 13);
+  EXPECT_EQ(blocked_total, expect);
+}
+
+TEST(ThreadPoolBarrier, DispatchCountSeesEveryJob) {
+  ThreadPool pool(4);
+  const auto before = pool.dispatch_count();
+  pool.run_on_all([](int) {});
+  pool.parallel_for_blocked(100, [](int, std::int64_t, std::int64_t) {});
+  pool.parallel_for_dynamic(100, 10, [](int, std::int64_t, std::int64_t) {});
+  pool.parallel_for_blocked(1, [](int, std::int64_t, std::int64_t) {});
+  EXPECT_EQ(pool.dispatch_count() - before, 4u);
+  // Empty loops dispatch nothing.
+  pool.parallel_for_blocked(0, [](int, std::int64_t, std::int64_t) {});
+  pool.parallel_for_dynamic(0, 10, [](int, std::int64_t, std::int64_t) {});
+  EXPECT_EQ(pool.dispatch_count() - before, 4u);
+}
+
+// --- deterministic-partition regression gate ---
+//
+// Every partitioner in the deterministic configuration (threads=1,
+// ranks=1, gpu_host_workers=1) must produce BIT-IDENTICAL partitions
+// run over run, and the exact partitions pinned below.  The golden FNV
+// values match the "determinism" section of BENCH_e2e.json (same graph,
+// seed, and options).  A legitimate algorithm change may move them —
+// update the constants consciously, together with the bench baseline.
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct DetGolden {
+  const char* system;
+  std::unique_ptr<Partitioner> (*make)();
+  std::uint64_t fnv;
+};
+
+class DeterminismRegression : public ::testing::TestWithParam<DetGolden> {};
+
+TEST_P(DeterminismRegression, SingleThreadConfigIsBitIdentical) {
+  const auto& gold = GetParam();
+  const CsrGraph g = make_paper_graph("delaunay", 1.0 / 256.0, 7);
+  PartitionOptions opts;
+  opts.k = 8;
+  opts.seed = 7;
+  opts.threads = 1;
+  opts.ranks = 1;
+  opts.gpu_host_workers = 1;
+  opts.gpu_cpu_threshold = 1024;
+  const auto sys = gold.make();
+  const auto r1 = sys->run(g, opts);
+  const auto r2 = sys->run(g, opts);
+  // Byte-compare the partition vectors across in-process runs.
+  ASSERT_EQ(r1.partition.where, r2.partition.where);
+  EXPECT_EQ(fnv1a(r1.partition.where.data(),
+                  r1.partition.where.size() * sizeof(part_t)),
+            gold.fnv)
+      << "deterministic partition drifted for " << gold.system;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, DeterminismRegression,
+    ::testing::Values(
+        DetGolden{"metis", &make_serial_partitioner,
+                  16254912780744818177ULL},
+        DetGolden{"parmetis", &make_par_partitioner, 3681740895285960291ULL},
+        DetGolden{"mt-metis", &make_mt_partitioner, 7355817695509169360ULL},
+        DetGolden{"gp-metis", &make_hybrid_partitioner,
+                  5153263865161350000ULL}),
+    [](const ::testing::TestParamInfo<DetGolden>& info) {
+      std::string s = info.param.system;
+      for (auto& c : s) {
+        if (c == '-') c = '_';
+      }
+      return s;
+    });
+
+}  // namespace
+}  // namespace gp
