@@ -11,7 +11,11 @@
 //   * cut/balance   quality of the best-time run,
 //   * exec          engine counters (kernels launched, buffer-pool
 //                   hits/misses) when the partitioner reports them,
-//   * partition_fnv FNV-1a hash of the partition vector of the best run.
+//   * partition_fnv FNV-1a hash of the partition vector of the best run,
+//   * audit_wall_s / audit_overhead
+//                   best-of-reps wall with --audit phase armed, and its
+//                   ratio to the audit-off wall — the price of the
+//                   silent-corruption defenses (DESIGN.md §3.5).
 //
 // A separate "determinism" section re-runs every partitioner
 // single-threaded (threads=1, one device worker) on a small fixed graph
@@ -26,6 +30,7 @@
 //
 // Exit status: non-zero when any partitioner errored (CI smoke gate).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -72,6 +77,8 @@ struct E2eRow {
   std::uint64_t kernels = 0;
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
+  double audit_wall_s = 0;
+  double audit_overhead = 0;
 };
 
 struct DetRow {
@@ -204,15 +211,33 @@ int main(int argc, char** argv) {
             row.pool_misses = r.exec.pool_misses;
           }
         }
+        // Audit-overhead column: same matrix with phase audits armed.
+        row.audit_wall_s = 1e300;
+        for (int rep = 0; rep < cfg.reps; ++rep) {
+          PartitionOptions opts;
+          opts.k = cfg.k;
+          opts.eps = 0.03;
+          opts.gpu_cpu_threshold = cfg.gpu_threshold;
+          opts.seed = cfg.seed + static_cast<std::uint64_t>(rep);
+          opts.audit_level = AuditLevel::kPhase;
+          WallTimer t;
+          (void)sys->run(g, opts);
+          row.audit_wall_s = std::min(row.audit_wall_s, t.seconds());
+        }
+        row.audit_overhead =
+            row.wall_s > 0 ? row.audit_wall_s / row.wall_s : 0.0;
         row.ok = true;
       } catch (const std::exception& e) {
         row.ok = false;
         row.error = e.what();
         any_error = true;
       }
-      std::fprintf(stderr, "#   %-9s %s wall %8.3f s  modeled %8.3f s\n",
+      std::fprintf(stderr,
+                   "#   %-9s %s wall %8.3f s  modeled %8.3f s  "
+                   "audit x%.3f\n",
                    row.partitioner.c_str(), row.ok ? "ok " : "ERR",
-                   row.ok ? row.wall_s : 0.0, row.ok ? row.modeled_s : 0.0);
+                   row.ok ? row.wall_s : 0.0, row.ok ? row.modeled_s : 0.0,
+                   row.ok ? row.audit_overhead : 0.0);
       rows.push_back(row);
     }
   }
@@ -282,6 +307,13 @@ int main(int argc, char** argv) {
                       b->wall_s, b->wall_s / r.wall_s);
         os << buf;
       }
+    }
+    if (r.ok) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\n     \"audit_wall_s\": %.6f, "
+                    "\"audit_overhead\": %.3f",
+                    r.audit_wall_s, r.audit_overhead);
+      os << buf;
     }
     std::snprintf(buf, sizeof(buf), ",\n     \"partition_fnv\": %llu}",
                   static_cast<unsigned long long>(r.partition_fnv));

@@ -89,6 +89,25 @@ std::string validate_partition(const CsrGraph& g, const Partition& p) {
   return {};
 }
 
+std::string validate_partition(const CsrGraph& g, const Partition& p,
+                               wgt_t stored_cut, double stored_balance) {
+  std::string err = validate_partition(g, p);
+  if (!err.empty()) return err;
+  std::ostringstream os;
+  const wgt_t cut = edge_cut(g, p);
+  if (cut != stored_cut) {
+    os << "stored cut " << stored_cut << " != recomputed cut " << cut;
+    return os.str();
+  }
+  const double balance = partition_balance(g, p);
+  if (std::abs(balance - stored_balance) > 1e-9 * std::max(1.0, balance)) {
+    os << "stored balance " << stored_balance << " != recomputed balance "
+       << balance;
+    return os.str();
+  }
+  return {};
+}
+
 int repair_empty_parts(const CsrGraph& g, Partition& p) {
   auto pw = partition_weights(g, p);
   std::vector<vid_t> pcount(static_cast<std::size_t>(p.k), 0);

@@ -46,6 +46,15 @@ struct Partition {
 [[nodiscard]] std::string validate_partition(const CsrGraph& g,
                                              const Partition& p);
 
+/// Structural validation plus verification of stored result fields: the
+/// `cut` and `balance` a PartitionResult carries must match recomputation
+/// from (g, p).  Catches metric drift a corrupted or buggy driver would
+/// otherwise hand to the caller.  Empty string on success.
+[[nodiscard]] std::string validate_partition(const CsrGraph& g,
+                                             const Partition& p,
+                                             wgt_t stored_cut,
+                                             double stored_balance);
+
 /// Repairs empty parts in place: each empty part receives a vertex from
 /// the heaviest part (the one with the least internal connectivity, so
 /// the cut damage is minimal).  Needed by partitioners whose construction

@@ -28,6 +28,10 @@ void validate_options(const CsrGraph& g, const PartitionOptions& opts) {
   if (opts.refine_passes < 0) {
     throw std::invalid_argument("refine_passes must be >= 0");
   }
+  if (opts.time_budget_seconds < 0.0) {
+    throw std::invalid_argument("time_budget_seconds must be >= 0, got " +
+                                std::to_string(opts.time_budget_seconds));
+  }
   if (!opts.fault_spec.empty()) {
     (void)FaultPlan::parse(opts.fault_spec);  // throws on syntax errors
   }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/audit.hpp"
 #include "core/csr_graph.hpp"
 #include "core/partition.hpp"
 #include "model/machine_model.hpp"
@@ -76,6 +77,17 @@ struct PartitionOptions {
   /// Seed for probabilistic fault rules (independent of `seed` so the
   /// same partitioning run can be replayed under different schedules).
   std::uint64_t fault_seed = 0;
+
+  // --- silent-corruption defense (src/core/audit.hpp) ---
+  /// Phase-boundary invariant audits: off = zero overhead (default),
+  /// phase = O(n+m) checks at phase boundaries, paranoid = phase plus
+  /// full structural revalidation of every coarse graph.  A failed audit
+  /// rolls the level back and re-executes on an escalating ladder.
+  AuditLevel audit_level = AuditLevel::kOff;
+  /// Wall-clock deadline in seconds, enforced at phase boundaries: when
+  /// rollback-retries threaten the budget, the drivers shed refinement
+  /// passes and finish degraded rather than overrun.  0 = no deadline.
+  double time_budget_seconds = 0.0;
 
   /// Builds the injector for this run, or nullptr when fault_spec is
   /// empty (implemented in partitioner.cpp).

@@ -84,11 +84,13 @@ std::string summarize_result(const PartitionResult& r) {
     out += buf;
   }
   if (r.health.degraded) {
-    std::snprintf(buf, sizeof(buf),
-                  " DEGRADED(faults=%llu retries=%llu fallbacks=%llu)",
-                  static_cast<unsigned long long>(r.health.faults_injected),
-                  static_cast<unsigned long long>(r.health.gpu_retries),
-                  static_cast<unsigned long long>(r.health.fallbacks));
+    std::snprintf(
+        buf, sizeof(buf),
+        " DEGRADED(faults=%llu retries=%llu fallbacks=%llu rollbacks=%llu)",
+        static_cast<unsigned long long>(r.health.faults_injected),
+        static_cast<unsigned long long>(r.health.gpu_retries),
+        static_cast<unsigned long long>(r.health.fallbacks),
+        static_cast<unsigned long long>(r.health.rollbacks));
     out += buf;
   }
   return out;
@@ -110,6 +112,19 @@ std::string format_health(const RunHealth& h) {
       static_cast<unsigned long long>(h.match_repairs),
       static_cast<unsigned long long>(h.fallbacks));
   os << buf;
+  if (h.audits_run > 0 || h.corruptions_injected > 0 || h.rollbacks > 0 ||
+      h.payload_discards > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "audits: run %llu | failed %llu | rollbacks %llu | "
+        "corruptions injected %llu | payload discards %llu\n",
+        static_cast<unsigned long long>(h.audits_run),
+        static_cast<unsigned long long>(h.audits_failed),
+        static_cast<unsigned long long>(h.rollbacks),
+        static_cast<unsigned long long>(h.corruptions_injected),
+        static_cast<unsigned long long>(h.payload_discards));
+    os << buf;
+  }
   for (const auto& e : h.events) os << "  " << e << "\n";
   return os.str();
 }

@@ -67,6 +67,19 @@ void Device::meter_d2h(std::size_t bytes, const std::string& label) {
   if (ledger_) ledger_->charge_transfer("transfer/d2h/" + label, bytes);
 }
 
+void Device::maybe_corrupt_transfer(void* data, std::size_t bytes,
+                                    const std::string& label) {
+  if (!injector_ || bytes == 0 || !data) return;
+  std::uint64_t material = 0;
+  if (!injector_->corrupt_transfer(
+          &material, label + " (device " + std::to_string(device_id_) + ")")) {
+    return;
+  }
+  auto* p = static_cast<unsigned char*>(data);
+  p[material % bytes] ^=
+      static_cast<unsigned char>(1u << ((material >> 56) & 7u));
+}
+
 void Device::begin_launch(const std::string& label) {
   check_fault(FaultSite::kKernel, label);
   ++kernels_;

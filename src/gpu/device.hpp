@@ -88,6 +88,17 @@ class Device {
     device_id_ = device_id;
   }
   [[nodiscard]] int device_id() const { return device_id_; }
+  [[nodiscard]] bool has_fault_injector() const {
+    return injector_ != nullptr;
+  }
+
+  /// Silent-corruption hook (DESIGN.md §3.5): when the fault plan carries
+  /// a `flip` rule for this transfer occurrence, flips one bit of the
+  /// payload at a (seed, occurrence)-determined position.  Called by
+  /// DeviceBuffer after each copy, guarded by has_fault_injector() so the
+  /// injector-free path pays one inline null check.
+  void maybe_corrupt_transfer(void* data, std::size_t bytes,
+                              const std::string& label);
 
   // --- memory accounting (called by DeviceBuffer) ---
   void on_alloc(std::size_t bytes);

@@ -68,18 +68,27 @@ class DeviceBuffer {
   [[nodiscard]] std::span<T> span() { return {data_, n_}; }
   [[nodiscard]] std::span<const T> span() const { return {data_, n_}; }
 
-  /// Host -> device copy (metered).
+  /// Host -> device copy (metered).  A planned `flip` fault lands on the
+  /// device-side copy, exactly like a bus/DRAM bit-flip on real hardware.
   void h2d(std::span<const T> host) {
     assert(host.size() == n_);
     if (!host.empty()) std::memcpy(data_, host.data(), host.size_bytes());
     dev_->meter_h2d(host.size_bytes(), label_);
+    if (dev_->has_fault_injector()) {
+      dev_->maybe_corrupt_transfer(data_, host.size_bytes(), "h2d/" + label_);
+    }
   }
 
-  /// Device -> host copy (metered).
+  /// Device -> host copy (metered).  A planned `flip` fault lands on the
+  /// host-side copy; the device data stays intact.
   void d2h(std::span<T> host) const {
     assert(host.size() == n_);
     if (n_ > 0) std::memcpy(host.data(), data_, n_ * sizeof(T));
     dev_->meter_d2h(n_ * sizeof(T), label_);
+    if (dev_->has_fault_injector()) {
+      dev_->maybe_corrupt_transfer(host.data(), n_ * sizeof(T),
+                                   "d2h/" + label_);
+    }
   }
 
   /// Device -> host into a fresh vector (metered).

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
+#include "core/audit.hpp"
 #include "hybrid/gpu_contract.hpp"
 #include "hybrid/gpu_matching.hpp"
 #include "hybrid/gpu_refine.hpp"
 #include "mt/mt_partitioner.hpp"
+#include "serial/metis_partitioner.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -40,13 +43,25 @@ void fill_phase_seconds(PartitionResult& res) {
       res.ledger.seconds_with_prefix("uncoarsen/");
 }
 
+/// Records an audit outcome in the health tallies; returns ok().
+bool record_audit(PartitionResult& res, const AuditFailure& f) {
+  ++res.health.audits_run;
+  if (!f.ok()) {
+    ++res.health.audits_failed;
+    res.health.note("audit: " + f.to_string());
+  }
+  return f.ok();
+}
+
 /// One full GPU-coarsen / CPU-middle / GPU-uncoarsen attempt.  Throws
-/// DeviceOutOfMemory / DeviceFailure when the device gives out; the
-/// driver below owns the retry and fallback policy.  `handoff` is the
-/// level size at which the GPU hands the graph to the CPU engine — the
-/// retry ladder raises it to shrink the device working set.
+/// DeviceOutOfMemory / DeviceFailure when the device gives out and
+/// AuditError when a phase-boundary invariant audit fails; the driver
+/// below owns the retry/escalation ladder.  `handoff` is the level size
+/// at which the GPU hands the graph to the CPU engine; `force_sort_merge`
+/// is the ladder's second rung (the hash contraction is the suspect).
 void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
-                      GpPhaseLog* log, vid_t handoff, FaultInjector* injector,
+                      GpPhaseLog* log, vid_t handoff, bool force_sort_merge,
+                      FaultInjector* injector, const Watchdog& watchdog,
                       PartitionResult& res) {
   Device::Config dev_config;  // GTX-Titan-like simulated device
   if (opts.gpu_memory_bytes > 0) {
@@ -59,6 +74,8 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   dev.set_ledger(&res.ledger);
   dev.set_fault_injector(injector, 0);
 
+  const AuditLevel audit = opts.audit_level;
+
   struct GpuLevel {
     GpuGraph graph;              // coarse graph at this level (device)
     DeviceBuffer<vid_t> cmap;    // fine->coarse map producing it (device)
@@ -68,6 +85,24 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
 
   // ---- 1. copy the graph to GPU global memory ----
   GpuGraph g0 = GpuGraph::upload(dev, g, "G0");
+  if (audit != AuditLevel::kOff) {
+    // Transfer-integrity audit: the kernels index through the device copy
+    // of the structure arrays, so a flipped bit there must be caught
+    // BEFORE any kernel consumes it — afterwards it is an out-of-bounds
+    // access, not a wrong answer.
+    const bool clean = g0.adjp.d2h_vector() == g.adjp() &&
+                       g0.adjncy.d2h_vector() == g.adjncy() &&
+                       g0.adjwgt.d2h_vector() == g.adjwgt() &&
+                       g0.vwgt.d2h_vector() == g.vwgt();
+    AuditFailure f;
+    if (!clean) {
+      f.kind = AuditFailure::Kind::kCsr;
+      f.invariant = "transfer-integrity";
+      f.detail = "device copy of the input graph differs from the host "
+                 "source after upload";
+    }
+    if (!record_audit(res, f)) throw AuditError(std::move(f));
+  }
 
   // ---- 2. GPU coarsening until the threshold level ----
   const GpuGraph* cur = &g0;
@@ -81,10 +116,50 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
         opts.min_shrink * static_cast<double>(cur->n)) {
       break;
     }
+    // Corruption site: one cmap entry perturbed in device memory on the
+    // single-threaded host path between matching and contraction.
+    std::uint64_t material = 0;
+    if (injector && m.n_coarse > 1 && injector->corrupt_cmap(&material)) {
+      vid_t* cm = m.cmap.data();
+      const auto idx =
+          static_cast<std::size_t>(material % static_cast<std::uint64_t>(
+                                                  cur->n));
+      cm[idx] = static_cast<vid_t>(
+          (static_cast<std::uint64_t>(cm[idx]) + 1 +
+           (material >> 32) % static_cast<std::uint64_t>(m.n_coarse - 1)) %
+          static_cast<std::uint64_t>(m.n_coarse));
+    }
+    if (audit != AuditLevel::kOff) {
+      // Phase-boundary audit of the level's matching artifacts.  The
+      // d2h copies are metered like any transfer (and are themselves
+      // flip-corruption sites — an audit that reads through a faulty bus
+      // can misfire, which the ladder absorbs like any other failure).
+      const auto host_match = m.match.d2h_vector();
+      const auto host_cmap = m.cmap.d2h_vector();
+      AuditFailure f = audit_matching(host_match, audit);
+      if (f.ok()) {
+        std::string err = validate_cmap(host_match, host_cmap, m.n_coarse);
+        if (!err.empty()) {
+          f.kind = AuditFailure::Kind::kContraction;
+          f.invariant = "cmap-consistency";
+          f.detail = "gpu level " + std::to_string(lvl) + ": " + err;
+        }
+      }
+      if (!record_audit(res, f)) throw AuditError(std::move(f));
+    }
     GpuContractStats cst;
     GpuGraph coarse =
         gpu_contract(dev, *cur, m.match, m.cmap, m.n_coarse, lvl,
-                     launch_threads, opts.gpu_hash_contraction, &cst);
+                     launch_threads,
+                     opts.gpu_hash_contraction && !force_sort_merge, &cst);
+    if (audit == AuditLevel::kParanoid) {
+      // Full conservation audit of the device contraction against the
+      // fine graph (both sides downloaded; paranoid is allowed to pay).
+      AuditFailure f = audit_contraction(
+          cur->download(), coarse.download(), m.match.d2h_vector(),
+          m.cmap.d2h_vector(), audit);
+      if (!record_audit(res, f)) throw AuditError(std::move(f));
+    }
     gpu_levels.push_back(
         {std::move(coarse), std::move(m.cmap), cur->n});
     cur = &gpu_levels.back().graph;
@@ -101,17 +176,48 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   // ---- 3. transfer the coarse graph to the CPU; finish coarsening +
   // initial partitioning + first refinements with the mt-metis engine ----
   const CsrGraph cpu_graph = cur->download();
+  if (audit != AuditLevel::kOff) {
+    // Handoff audit: the graph crossing the PCIe boundary must be
+    // well-formed and conserve the original total vertex weight (GPU
+    // contraction only merges vertices).
+    AuditFailure f = audit_csr(cpu_graph, audit);
+    if (f.ok() &&
+        cpu_graph.total_vertex_weight() != g.total_vertex_weight()) {
+      f.kind = AuditFailure::Kind::kContraction;
+      f.invariant = "vertex-weight-conservation";
+      f.detail = "handoff graph total vertex weight " +
+                 std::to_string(cpu_graph.total_vertex_weight()) +
+                 " != input total " +
+                 std::to_string(g.total_vertex_weight());
+    }
+    if (!record_audit(res, f)) throw AuditError(std::move(f));
+  }
   ThreadPool pool(opts.threads);
   MtContext mt_ctx{&pool, &res.ledger, opts.seed};
   PartitionOptions cpu_opts = opts;
+  const MtPipelineControl mt_control{injector, &res.health, &watchdog};
   const auto mt_out =
-      mt_multilevel_pipeline(cpu_graph, cpu_opts, mt_ctx, gpu_lvls);
+      mt_multilevel_pipeline(cpu_graph, cpu_opts, mt_ctx, gpu_lvls,
+                             mt_control);
 
   // ---- 4. transfer the partitioned graph back; GPU uncoarsening ----
   DeviceBuffer<part_t> where_coarse(
       dev, static_cast<std::size_t>(cpu_graph.num_vertices()), "where");
   where_coarse.h2d(mt_out.partition.where);
+  if (audit != AuditLevel::kOff) {
+    // The refinement kernels index part-weight tables with these labels:
+    // verify the upload before any kernel dereferences a flipped label.
+    AuditFailure f;
+    if (where_coarse.d2h_vector() != mt_out.partition.where) {
+      f.kind = AuditFailure::Kind::kPartition;
+      f.invariant = "transfer-integrity";
+      f.detail = "device copy of the coarse labels differs from the host "
+                 "source after upload";
+    }
+    if (!record_audit(res, f)) throw AuditError(std::move(f));
+  }
 
+  bool shed_noted = false;
   for (std::size_t i = gpu_levels.size(); i-- > 0;) {
     const vid_t fine_n = gpu_levels[i].fine_n;
     const GpuGraph& fine = (i == 0) ? g0 : gpu_levels[i - 1].graph;
@@ -121,15 +227,33 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
         opts.gpu_threads, std::max<std::int64_t>(256, fine_n));
     gpu_project(dev, gpu_levels[i].cmap, where_coarse, where_fine,
                 static_cast<int>(i), T);
-    auto rst = gpu_refine(dev, fine, where_fine, opts.k, opts.eps,
-                          opts.refine_passes, static_cast<int>(i), T);
-    if (log) log->refine_committed += rst.committed;
+    if (watchdog.expired()) {
+      // Deadline: keep the (valid) projected partition, shed the level's
+      // refinement passes, finish degraded rather than overrun.
+      if (!shed_noted) {
+        res.health.note(
+            "watchdog: time budget exceeded, shedding gpu refinement");
+        ++res.health.fallbacks;
+        res.health.degraded = true;
+        shed_noted = true;
+      }
+    } else {
+      auto rst = gpu_refine(dev, fine, where_fine, opts.k, opts.eps,
+                            opts.refine_passes, static_cast<int>(i), T);
+      if (log) log->refine_committed += rst.committed;
+    }
     where_coarse = std::move(where_fine);
   }
 
   // ---- 5. final partition back to the host ----
   res.partition.k = opts.k;
   res.partition.where = where_coarse.d2h_vector();
+
+  if (audit != AuditLevel::kOff) {
+    AuditFailure f = audit_partition(g, res.partition, opts.k, opts.eps,
+                                     /*expected_cut=*/-1, audit);
+    if (!record_audit(res, f)) throw AuditError(std::move(f));
+  }
 
   res.cut = edge_cut(g, res.partition);
   res.balance = partition_balance(g, res.partition);
@@ -147,19 +271,26 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   }
 }
 
-/// Terminal degradation: the whole multilevel pipeline on the CPU engine
-/// (exactly what GP-metis already does below the threshold level, applied
-/// to the entire graph).  Charges land in the same ledger, after whatever
-/// the failed GPU attempts already spent.
+/// Third rung of the ladder: the whole multilevel pipeline on the CPU
+/// engine (exactly what GP-metis already does below the threshold level,
+/// applied to the entire graph).  Charges land in the same ledger, after
+/// whatever the failed GPU attempts already spent.
 void pure_cpu_fallback(const CsrGraph& g, const PartitionOptions& opts,
-                       GpPhaseLog* log, PartitionResult& res) {
+                       GpPhaseLog* log, const MtPipelineControl& control,
+                       PartitionResult& res) {
   ThreadPool pool(opts.threads);
   MtContext ctx{&pool, &res.ledger, opts.seed};
-  auto out = mt_multilevel_pipeline(g, opts, ctx, 0);
+  auto out = mt_multilevel_pipeline(g, opts, ctx, 0, control);
   res.partition = std::move(out.partition);
   res.partition.k = opts.k;
   res.cut = edge_cut(g, res.partition);
   res.balance = partition_balance(g, res.partition);
+  if (opts.audit_level != AuditLevel::kOff) {
+    AuditFailure f = audit_partition(g, res.partition, opts.k, opts.eps,
+                                     static_cast<std::int64_t>(res.cut),
+                                     opts.audit_level);
+    if (!record_audit(res, f)) throw AuditError(std::move(f));
+  }
   res.coarsen_levels = out.levels;
   res.coarsest_vertices = out.coarsest_vertices;
   if (log) {
@@ -177,10 +308,13 @@ PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
   WallTimer wall;
   PartitionResult res;
   const std::unique_ptr<FaultInjector> injector = opts.make_fault_injector();
+  const Watchdog watchdog(opts.time_budget_seconds);
 
   vid_t handoff = std::max<vid_t>(opts.gpu_cpu_threshold,
                                   opts.coarsen_target());
   bool gpu_ok = false;
+  bool force_sort_merge = false;
+  int audit_failures = 0;
   int attempts = 0;
   while (!gpu_ok && attempts < kMaxGpuAttempts) {
     if (log) {
@@ -190,7 +324,8 @@ PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
     }
     ++attempts;
     try {
-      gp_metis_attempt(g, opts, log, handoff, injector.get(), res);
+      gp_metis_attempt(g, opts, log, handoff, force_sort_merge,
+                       injector.get(), watchdog, res);
       gpu_ok = true;
     } catch (const DeviceOutOfMemory& e) {
       res.health.gpu_retries += 1;
@@ -221,6 +356,33 @@ PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
                       "); retrying");
       log_warn("gp-metis: device failure, retrying (attempt %d): %s",
                attempts, e.what());
+    } catch (const AuditError& e) {
+      // Escalation ladder for silent corruption: re-execute, then swap
+      // the hash contraction for sort-merge, then leave the GPU.
+      ++audit_failures;
+      res.health.rollbacks += 1;
+      res.health.gpu_retries += 1;
+      res.health.degraded = true;
+      res.ledger.charge_raw("fault/device-reset", kDeviceResetSeconds);
+      if (watchdog.expired()) {
+        res.health.note(std::string("gp-metis: audit failed (") + e.what() +
+                        ") with the time budget exhausted; leaving the GPU");
+        break;
+      }
+      if (audit_failures == 1) {
+        res.health.note(std::string("gp-metis: audit failed (") + e.what() +
+                        "); rolling the attempt back and retrying");
+      } else if (opts.gpu_hash_contraction && !force_sort_merge) {
+        force_sort_merge = true;
+        res.health.note(std::string("gp-metis: audit failed again (") +
+                        e.what() +
+                        "); escalating to sort-merge contraction");
+      } else {
+        res.health.note(std::string("gp-metis: audit failed on the "
+                                    "sort-merge rung (") +
+                        e.what() + "); leaving the GPU");
+        break;
+      }
     }
   }
   if (!gpu_ok) {
@@ -231,7 +393,39 @@ PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
     log_warn("gp-metis: degrading to pure mt-metis after %d GPU attempts",
              attempts);
     if (log) *log = GpPhaseLog{};
-    pure_cpu_fallback(g, opts, log, res);
+    const MtPipelineControl control{injector.get(), &res.health, &watchdog};
+    try {
+      pure_cpu_fallback(g, opts, log, control, res);
+    } catch (const AuditError& e) {
+      // Terminal rung: whole-run serial fallback with corruption
+      // injection suppressed, so convergence is guaranteed even under
+      // probabilistic corruption rules.
+      res.health.rollbacks += 1;
+      res.health.fallbacks += 1;
+      res.health.note(std::string("gp-metis: CPU phase failed audit (") +
+                      e.what() +
+                      "); whole-run serial fallback with corruption "
+                      "suppressed");
+      if (injector) injector->set_corruption_suppressed(true);
+      PartitionOptions serial_opts = opts;
+      serial_opts.fault_spec.clear();  // the terminal engine runs clean
+      PartitionResult serial_res =
+          SerialMetisPartitioner().run(g, serial_opts);
+      res.partition = std::move(serial_res.partition);
+      res.cut = serial_res.cut;
+      res.balance = serial_res.balance;
+      res.coarsen_levels = serial_res.coarsen_levels;
+      res.coarsest_vertices = serial_res.coarsest_vertices;
+      res.health.audits_run += serial_res.health.audits_run;
+      res.health.audits_failed += serial_res.health.audits_failed;
+      res.ledger.merge("", serial_res.ledger);
+      if (log) {
+        *log = GpPhaseLog{};
+        log->cpu_levels = serial_res.coarsen_levels;
+        log->handoff_vertices = g.num_vertices();
+        log->cpu_fallback = true;
+      }
+    }
   }
   if (injector) injector->report_into(res.health);
   if (log) {

@@ -4,11 +4,14 @@
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <utility>
 
+#include "core/audit.hpp"
 #include "gpu/device_atomics.hpp"
 #include "gpu/device_buffer.hpp"
 #include "gpu/scan.hpp"
 #include "mt/mt_partitioner.hpp"
+#include "serial/metis_partitioner.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -117,8 +120,38 @@ constexpr int kMaxOomRetries = 2;
 void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
                        MultiGpuLog* log, const std::vector<int>& phys,
                        vid_t handoff, FaultInjector* injector,
-                       PartitionResult& res) {
+                       const Watchdog& watchdog, PartitionResult& res) {
   const int D = static_cast<int>(phys.size());
+  const AuditLevel audit = opts.audit_level;
+  // Tallies the audit and, on failure, logs + throws for the driver's
+  // retry ladder (the distributed shard state has no cheaper recovery
+  // unit than the attempt).
+  auto require_audit = [&](AuditFailure f) {
+    ++res.health.audits_run;
+    if (f.ok()) return;
+    ++res.health.audits_failed;
+    res.health.note("audit: " + f.to_string());
+    throw AuditError(std::move(f));
+  };
+  auto audit_failure = [](AuditFailure::Kind kind, std::string invariant,
+                          std::string detail) {
+    AuditFailure f;
+    f.kind = kind;
+    f.invariant = std::move(invariant);
+    f.detail = std::move(detail);
+    return f;
+  };
+  bool shed_noted = false;
+  auto watchdog_expired = [&]() {
+    if (!watchdog.expired()) return false;
+    if (!shed_noted) {
+      res.health.note("watchdog: time budget exceeded, shedding refinement");
+      ++res.health.fallbacks;
+      res.health.degraded = true;
+    }
+    shed_noted = true;
+    return true;
+  };
 
   // One simulated device per GPU, each with its own ledger so stages can
   // be rolled up as max-over-devices.
@@ -168,6 +201,23 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
       s.adjwgt.h2d(s.h_adjwgt);
       s.vwgt = DeviceBuffer<wgt_t>(dev, s.h_vwgt.size(), tag + "/vwgt");
       s.vwgt.h2d(s.h_vwgt);
+      // Transfer-integrity audit: kernels index through the device copy
+      // of the structure arrays, so a flipped bit there (a `flip` fault
+      // rule) must be caught BEFORE any kernel consumes it — afterwards
+      // it is an out-of-bounds access, not a wrong answer.
+      if (audit != AuditLevel::kOff) {
+        const bool clean = s.adjp.d2h_vector() == s.h_adjp &&
+                           s.adjncy.d2h_vector() == s.h_adjncy &&
+                           s.adjwgt.d2h_vector() == s.h_adjwgt &&
+                           s.vwgt.d2h_vector() == s.h_vwgt;
+        require_audit(clean ? AuditFailure{}
+                            : audit_failure(
+                                  AuditFailure::Kind::kCsr,
+                                  "transfer-integrity",
+                                  tag + ": device shard of gpu " +
+                                      std::to_string(d) +
+                                      " differs from host source"));
+      }
     }
     return shards;
   };
@@ -312,6 +362,25 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
                    });
         coarse_count[static_cast<std::size_t>(d)] = nc;
         cur.cmaps[static_cast<std::size_t>(d)] = cmap.d2h_vector();
+        // Range audit BEFORE the host consumes the downloaded cmap: the
+        // leader/partner scans and the halo owner lookups index host
+        // arrays with these values, so a flipped entry would be an
+        // out-of-bounds access there rather than a wrong answer.
+        if (audit != AuditLevel::kOff) {
+          AuditFailure f;
+          for (const vid_t c : cur.cmaps[static_cast<std::size_t>(d)]) {
+            if (c < 0 || c >= nc) {
+              f = audit_failure(
+                  AuditFailure::Kind::kContraction, "cmap-range",
+                  "gpu " + std::to_string(d) + " level " +
+                      std::to_string(lvl) + ": coarse map entry " +
+                      std::to_string(c) + " outside [0, " +
+                      std::to_string(nc) + ")");
+              break;
+            }
+          }
+          require_audit(std::move(f));
+        }
       }
     }
 
@@ -554,8 +623,47 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
         cs.vwgt = DeviceBuffer<wgt_t>(dev, std::max<std::size_t>(1, cs.h_vwgt.size()),
                                       "cvwgt" + L);
         if (!cs.h_vwgt.empty()) cs.vwgt.h2d(cs.h_vwgt);
+        if (audit != AuditLevel::kOff) {
+          const bool clean = cs.adjp.d2h_vector() == cs.h_adjp &&
+                             (cs.h_adjncy.empty() ||
+                              cs.adjncy.d2h_vector() == cs.h_adjncy) &&
+                             (cs.h_adjwgt.empty() ||
+                              cs.adjwgt.d2h_vector() == cs.h_adjwgt) &&
+                             (cs.h_vwgt.empty() ||
+                              cs.vwgt.d2h_vector() == cs.h_vwgt);
+          require_audit(clean
+                            ? AuditFailure{}
+                            : audit_failure(
+                                  AuditFailure::Kind::kCsr,
+                                  "transfer-integrity",
+                                  "coarse shard of gpu " + std::to_string(d) +
+                                      " at level " + std::to_string(lvl) +
+                                      " differs from host source"));
+        }
         next.shards[static_cast<std::size_t>(d)] = std::move(cs);
       }
+    }
+
+    // Cross-device conservation audit: contraction only merges vertices,
+    // so the shard-summed vertex weight is level-invariant.  This is the
+    // cheapest whole-level check that catches a corrupted contraction on
+    // any one device after the per-device artifacts are merged.
+    if (audit != AuditLevel::kOff) {
+      wgt_t fine_w = 0, coarse_w = 0;
+      for (const auto& s : cur.shards)
+        for (const wgt_t w : s.h_vwgt) fine_w += w;
+      for (const auto& s : next.shards)
+        for (const wgt_t w : s.h_vwgt) coarse_w += w;
+      require_audit(
+          fine_w == coarse_w
+              ? AuditFailure{}
+              : audit_failure(AuditFailure::Kind::kContraction,
+                              "vertex-weight-conservation",
+                              "level " + std::to_string(lvl) +
+                                  ": fine shards weigh " +
+                                  std::to_string(fine_w) +
+                                  ", coarse shards weigh " +
+                                  std::to_string(coarse_w)));
     }
 
     // Free the fine shards' device copies except level-0... keep all for
@@ -594,9 +702,31 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
                          std::move(adjwgt), std::move(vwgt));
   }
 
+  // Handoff audit: the CPU stage trusts this gathered graph completely,
+  // so it is the last place a corrupted coarsening can be caught before
+  // it silently shapes the initial partition.
+  if (audit != AuditLevel::kOff) {
+    require_audit(audit_csr(cpu_graph, audit));
+    wgt_t handoff_w = 0;
+    for (vid_t v = 0; v < cpu_graph.num_vertices(); ++v) {
+      handoff_w += cpu_graph.vertex_weight(v);
+    }
+    require_audit(
+        handoff_w == g.total_vertex_weight()
+            ? AuditFailure{}
+            : audit_failure(AuditFailure::Kind::kContraction,
+                            "handoff-weight",
+                            "gathered coarse graph weighs " +
+                                std::to_string(handoff_w) +
+                                ", input weighs " +
+                                std::to_string(g.total_vertex_weight())));
+  }
+
   ThreadPool pool(opts.threads);
   MtContext mt_ctx{&pool, &res.ledger, opts.seed};
-  const auto mt_out = mt_multilevel_pipeline(cpu_graph, opts, mt_ctx, gpu_lvls);
+  const MtPipelineControl mt_control{injector, &res.health, &watchdog};
+  const auto mt_out =
+      mt_multilevel_pipeline(cpu_graph, opts, mt_ctx, gpu_lvls, mt_control);
 
   // ---- uncoarsening: host-authoritative labels, device proposals ----
   std::vector<part_t> where = mt_out.partition.where;  // coarse level
@@ -639,6 +769,11 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
       }
     }
     where = std::move(fwhere);
+
+    // Past the deadline, projection still runs (correctness) but the
+    // propose/replay passes are shed — the partition stays valid, just
+    // less refined.
+    if (watchdog_expired()) continue;
 
     // Refinement: devices propose, host replays.
     std::vector<wgt_t> pw(static_cast<std::size_t>(opts.k), 0);
@@ -766,6 +901,12 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
   // through ConcurrentStage charges; assemble results.
   res.partition.k = opts.k;
   res.partition.where = std::move(where);
+  // Final audit gates the metric computations: a corrupted label would
+  // index the per-part accumulators out of bounds inside edge_cut.
+  if (audit != AuditLevel::kOff) {
+    require_audit(audit_partition(g, res.partition, opts.k, opts.eps,
+                                  /*expected_cut=*/-1, audit));
+  }
   res.cut = edge_cut(g, res.partition);
   res.balance = partition_balance(g, res.partition);
   res.coarsen_levels = gpu_lvls + mt_out.levels;
@@ -795,6 +936,7 @@ PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
   WallTimer wall;
   PartitionResult res;
   const std::unique_ptr<FaultInjector> injector = opts.make_fault_injector();
+  const Watchdog watchdog(opts.time_budget_seconds);
 
   // Surviving physical devices.  A lost device is excluded and the vertex
   // blocks are redistributed over the remainder — the vtxdist rebuild at
@@ -810,12 +952,36 @@ PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
   bool gpu_ok = false;
   int attempts = 0;
   int oom_retries = 0;
+  int audit_failures = 0;
   while (!gpu_ok && !phys.empty() && attempts < max_attempts) {
     if (log) *log = MultiGpuLog{};
     ++attempts;
     try {
-      multi_gpu_attempt(g, opts, log, phys, handoff, injector.get(), res);
+      multi_gpu_attempt(g, opts, log, phys, handoff, injector.get(), watchdog,
+                        res);
       gpu_ok = true;
+    } catch (const AuditError& e) {
+      // Without an injector an audit failure is a genuine logic bug —
+      // never mask it behind a fallback.
+      if (!injector) throw;
+      ++res.health.rollbacks;
+      ++res.health.gpu_retries;
+      res.health.degraded = true;
+      res.ledger.charge_raw("fault/device-reset", kDeviceResetSeconds);
+      if (++audit_failures == 1) {
+        res.health.note(
+            "rollback: gp-metis-multi attempt restarted after failed audit (" +
+            std::string(e.what()) + ")");
+        log_warn("gp-metis-multi: audit failed, restarting attempt: %s",
+                 e.what());
+      } else {
+        res.health.note("gp-metis-multi: repeated audit failure (" +
+                        std::string(e.what()) +
+                        "); abandoning the GPU path");
+        log_warn("gp-metis-multi: repeated audit failure, degrading: %s",
+                 e.what());
+        break;
+      }
     } catch (const DeviceFailure& e) {
       res.health.degraded = true;
       res.ledger.charge_raw("fault/device-reset", kDeviceResetSeconds);
@@ -855,15 +1021,52 @@ PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
     log_warn("gp-metis-multi: degrading to pure mt-metis after %d attempts",
              attempts);
     if (log) *log = MultiGpuLog{};
-    ThreadPool pool(opts.threads);
-    MtContext ctx{&pool, &res.ledger, opts.seed};
-    auto out = mt_multilevel_pipeline(g, opts, ctx, 0);
-    res.partition = std::move(out.partition);
-    res.partition.k = opts.k;
-    res.cut = edge_cut(g, res.partition);
-    res.balance = partition_balance(g, res.partition);
-    res.coarsen_levels = out.levels;
-    res.coarsest_vertices = out.coarsest_vertices;
+    try {
+      ThreadPool pool(opts.threads);
+      MtContext ctx{&pool, &res.ledger, opts.seed};
+      const MtPipelineControl control{injector.get(), &res.health, &watchdog};
+      auto out = mt_multilevel_pipeline(g, opts, ctx, 0, control);
+      res.partition = std::move(out.partition);
+      res.partition.k = opts.k;
+      if (opts.audit_level != AuditLevel::kOff) {
+        ++res.health.audits_run;
+        AuditFailure f = audit_partition(g, res.partition, opts.k, opts.eps,
+                                         /*expected_cut=*/-1,
+                                         opts.audit_level);
+        if (!f.ok()) {
+          ++res.health.audits_failed;
+          res.health.note("audit: " + f.to_string());
+          throw AuditError(std::move(f));
+        }
+      }
+      res.cut = edge_cut(g, res.partition);
+      res.balance = partition_balance(g, res.partition);
+      res.coarsen_levels = out.levels;
+      res.coarsest_vertices = out.coarsest_vertices;
+    } catch (const AuditError& e) {
+      if (!injector) throw;
+      // Terminal rung: serial reference implementation with corruption
+      // suppressed — guaranteed to converge under probabilistic rules.
+      ++res.health.rollbacks;
+      ++res.health.fallbacks;
+      res.health.degraded = true;
+      res.health.note("gp-metis-multi: CPU fallback failed audit (" +
+                      std::string(e.what()) +
+                      "); whole-run serial fallback with corruption "
+                      "suppressed");
+      injector->set_corruption_suppressed(true);
+      PartitionOptions serial_opts = opts;
+      serial_opts.fault_spec.clear();
+      PartitionResult serial_res = SerialMetisPartitioner().run(g, serial_opts);
+      res.partition = std::move(serial_res.partition);
+      res.cut = serial_res.cut;
+      res.balance = serial_res.balance;
+      res.coarsen_levels = serial_res.coarsen_levels;
+      res.coarsest_vertices = serial_res.coarsest_vertices;
+      res.health.audits_run += serial_res.health.audits_run;
+      res.health.audits_failed += serial_res.health.audits_failed;
+      res.ledger.merge("", serial_res.ledger);
+    }
   }
   if (injector) injector->report_into(res.health);
   if (log) {

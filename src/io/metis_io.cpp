@@ -8,9 +8,11 @@ namespace gp {
 
 namespace {
 
-/// Next non-comment, non-empty line; false at EOF.
-bool next_data_line(std::istream& in, std::string& line) {
+/// Line-tracking reader: next non-comment, non-empty line; false at EOF.
+/// `lineno` always holds the 1-based physical line number of `line`.
+bool next_data_line(std::istream& in, std::string& line, std::int64_t& lineno) {
   while (std::getline(in, line)) {
+    ++lineno;
     std::size_t i = 0;
     while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
       ++i;
@@ -21,58 +23,122 @@ bool next_data_line(std::istream& in, std::string& line) {
   return false;
 }
 
+[[noreturn]] void metis_error(std::int64_t lineno, const std::string& what) {
+  throw std::invalid_argument("metis: line " + std::to_string(lineno) + ": " +
+                              what);
+}
+
+/// The remainder of a parsed line must be whitespace — a stray token
+/// (letters, punctuation) means the file is not what it claims to be.
+void require_consumed(std::istringstream& ls, std::int64_t lineno,
+                      const std::string& where) {
+  ls.clear();
+  std::string rest;
+  if (ls >> rest) {
+    metis_error(lineno, "unparseable token '" + rest + "' in " + where);
+  }
+}
+
 }  // namespace
 
 CsrGraph read_metis_graph(std::istream& in) {
   std::string line;
-  if (!next_data_line(in, line)) {
-    throw std::runtime_error("metis: missing header");
+  std::int64_t lineno = 0;
+  if (!next_data_line(in, line, lineno)) {
+    throw std::invalid_argument(
+        "metis: missing header (empty or comment-only file)");
   }
   std::istringstream hdr(line);
   std::int64_t n = 0, m = 0;
   int fmt = 0;
-  hdr >> n >> m;
-  if (!hdr || n < 0 || m < 0) throw std::runtime_error("metis: bad header");
+  if (!(hdr >> n >> m) || n < 0 || m < 0) {
+    metis_error(lineno, "bad header '" + line +
+                            "' (want '<vertices> <edges> [fmt]', both "
+                            "non-negative)");
+  }
   std::string fmt_str;
-  if (hdr >> fmt_str) fmt = std::stoi(fmt_str);
+  if (hdr >> fmt_str) {
+    try {
+      std::size_t used = 0;
+      fmt = std::stoi(fmt_str, &used);
+      if (used != fmt_str.size()) throw std::invalid_argument(fmt_str);
+    } catch (const std::exception&) {
+      metis_error(lineno, "bad format field '" + fmt_str + "' in header");
+    }
+    if (fmt < 0 || fmt > 111 || fmt % 10 > 1 || (fmt / 10) % 10 > 1 ||
+        fmt / 100 > 1) {
+      metis_error(lineno, "unsupported format code " + std::to_string(fmt) +
+                              " (want a 3-digit code of 0s and 1s)");
+    }
+  }
+  require_consumed(hdr, lineno, "header");
+  if (fmt / 100 == 1) {
+    metis_error(lineno, "multi-constraint vertex sizes (fmt 1xx) are not "
+                        "supported");
+  }
   const bool has_ewgt = (fmt % 10) == 1;
   const bool has_vwgt = (fmt / 10) % 10 == 1;
 
   GraphBuilder b(static_cast<vid_t>(n));
   for (std::int64_t v = 0; v < n; ++v) {
-    if (!next_data_line(in, line)) {
-      throw std::runtime_error("metis: unexpected EOF at vertex " +
-                               std::to_string(v + 1));
+    if (!next_data_line(in, line, lineno)) {
+      metis_error(lineno, "unexpected end of file: header promises " +
+                              std::to_string(n) + " vertex lines, got " +
+                              std::to_string(v));
     }
     std::istringstream ls(line);
     if (has_vwgt) {
       wgt_t w;
-      if (!(ls >> w) || w <= 0) {
-        throw std::runtime_error("metis: bad vertex weight at vertex " +
-                                 std::to_string(v + 1));
+      if (!(ls >> w)) {
+        metis_error(lineno, "vertex " + std::to_string(v + 1) +
+                                ": missing or non-numeric vertex weight");
+      }
+      if (w <= 0) {
+        metis_error(lineno, "vertex " + std::to_string(v + 1) +
+                                ": vertex weight " + std::to_string(w) +
+                                " must be positive");
       }
       b.set_vertex_weight(static_cast<vid_t>(v), w);
     }
     std::int64_t u;
     while (ls >> u) {
       if (u < 1 || u > n) {
-        throw std::runtime_error("metis: neighbour out of range at vertex " +
-                                 std::to_string(v + 1));
+        metis_error(lineno, "vertex " + std::to_string(v + 1) +
+                                ": neighbour " + std::to_string(u) +
+                                " outside [1, " + std::to_string(n) + "]");
+      }
+      if (u - 1 == v) {
+        metis_error(lineno, "vertex " + std::to_string(v + 1) +
+                                ": self-loop is not allowed");
       }
       wgt_t w = 1;
-      if (has_ewgt && !(ls >> w)) {
-        throw std::runtime_error("metis: missing edge weight at vertex " +
-                                 std::to_string(v + 1));
+      if (has_ewgt) {
+        if (!(ls >> w)) {
+          metis_error(lineno, "vertex " + std::to_string(v + 1) +
+                                  ": neighbour " + std::to_string(u) +
+                                  " has no edge weight (fmt says weighted)");
+        }
+        if (w <= 0) {
+          metis_error(lineno, "vertex " + std::to_string(v + 1) +
+                                  ": edge weight " + std::to_string(w) +
+                                  " must be positive");
+        }
       }
       // Each undirected edge appears twice; add it once.
       if (u - 1 > v) b.add_edge(static_cast<vid_t>(v), static_cast<vid_t>(u - 1), w);
     }
+    require_consumed(ls, lineno,
+                     "adjacency list of vertex " + std::to_string(v + 1));
+  }
+  if (next_data_line(in, line, lineno)) {
+    metis_error(lineno, "trailing data after the last promised vertex line");
   }
   CsrGraph g = b.build();
   if (g.num_edges() != m) {
-    throw std::runtime_error("metis: header claims " + std::to_string(m) +
-                             " edges, file has " +
-                             std::to_string(g.num_edges()));
+    throw std::invalid_argument(
+        "metis: header claims " + std::to_string(m) + " edges, file has " +
+        std::to_string(g.num_edges()) +
+        " (each undirected edge must be listed from both endpoints)");
   }
   return g;
 }

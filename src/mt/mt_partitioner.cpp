@@ -1,7 +1,9 @@
 #include "mt/mt_partitioner.hpp"
 
 #include <memory>
+#include <utility>
 
+#include "core/audit.hpp"
 #include "mt/mt_contract.hpp"
 #include "mt/mt_initpart.hpp"
 #include "mt/mt_matching.hpp"
@@ -13,12 +15,68 @@ namespace gp {
 MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
                                         const PartitionOptions& opts,
                                         const MtContext& ctx,
-                                        int level_offset) {
+                                        int level_offset,
+                                        const MtPipelineControl& control) {
   struct Level {
     CsrGraph graph;
     std::vector<vid_t> cmap;
   };
   std::vector<Level> levels;
+
+  const AuditLevel audit = opts.audit_level;
+  RunHealth* health = control.health;
+  auto run_audit = [&](const AuditFailure& f) {
+    if (health) {
+      ++health->audits_run;
+      if (!f.ok()) {
+        ++health->audits_failed;
+        health->note("audit: " + f.to_string());
+      }
+    }
+    return f.ok();
+  };
+  bool shed_noted = false;
+  auto watchdog_expired = [&]() {
+    if (!control.watchdog || !control.watchdog->expired()) return false;
+    if (!shed_noted && health) {
+      health->note("watchdog: time budget exceeded, shedding refinement");
+      ++health->fallbacks;
+      health->degraded = true;
+    }
+    shed_noted = true;
+    return true;
+  };
+  /// Refine with a pre-refine checkpoint: a failed partition audit rolls
+  /// the level back to the checkpoint and retries once, then keeps the
+  /// (already audited) checkpoint and drops the level's refinement.
+  auto guarded_refine = [&](const CsrGraph& graph, Partition& part,
+                            int level) {
+    if (watchdog_expired()) return;
+    if (audit == AuditLevel::kOff) {
+      mt_refine(graph, part, opts.eps, opts.refine_passes, ctx, level,
+                /*cut_stats=*/false);
+      return;
+    }
+    const std::vector<part_t> checkpoint = part.where;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      mt_refine(graph, part, opts.eps, opts.refine_passes, ctx, level,
+                /*cut_stats=*/false);
+      if (run_audit(audit_partition(graph, part, opts.k, /*eps=*/0.0,
+                                    /*expected_cut=*/-1, audit))) {
+        return;
+      }
+      if (health) {
+        ++health->rollbacks;
+        health->degraded = true;
+        health->note(attempt == 0
+                         ? "rollback: refine/L" + std::to_string(level) +
+                               " restored from checkpoint, retrying"
+                         : "rollback: refine/L" + std::to_string(level) +
+                               " dropped, keeping checkpoint");
+      }
+      part.where = checkpoint;
+    }
+  };
 
   const vid_t target = opts.coarsen_target();
   const CsrGraph* cur = &g;
@@ -29,8 +87,54 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
         opts.min_shrink * static_cast<double>(cur->num_vertices())) {
       break;
     }
-    CsrGraph coarse = mt_contract(*cur, m, ctx, lvl);
-    levels.push_back({std::move(coarse), std::move(m.cmap)});
+    // Corruption site: one cmap entry perturbed on the single-threaded
+    // path between matching and contraction (`cmap@N` / `cmap:p=` rules).
+    std::uint64_t material = 0;
+    if (control.injector && m.n_coarse > 1 &&
+        control.injector->corrupt_cmap(&material)) {
+      auto& slot = m.cmap[static_cast<std::size_t>(material % m.cmap.size())];
+      slot = static_cast<vid_t>(
+          (static_cast<std::uint64_t>(slot) + 1 +
+           (material >> 32) % static_cast<std::uint64_t>(m.n_coarse - 1)) %
+          static_cast<std::uint64_t>(m.n_coarse));
+    }
+    if (audit != AuditLevel::kOff) {
+      AuditFailure mf = audit_matching(m.match, audit);
+      if (!run_audit(mf)) {
+        // A damaged match has no cheaper recovery unit than the level's
+        // inputs, which we no longer have: the run-level ladder restarts.
+        throw AuditError(std::move(mf));
+      }
+    }
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (attempt == 1) {
+        // Roll the level back: rebuild the cmap from the audited match
+        // with the serial reference rule, then re-contract serially.
+        if (health) {
+          ++health->rollbacks;
+          health->degraded = true;
+          health->note("rollback: coarsen/L" + std::to_string(lvl) +
+                       " re-contracted from rebuilt cmap");
+        }
+        auto rebuilt = build_cmap_serial(m.match);
+        m.cmap = std::move(rebuilt.first);
+        m.n_coarse = rebuilt.second;
+      }
+      CsrGraph coarse = (attempt == 0)
+                            ? mt_contract(*cur, m, ctx, lvl)
+                            : contract_serial(*cur, m.match, m.cmap,
+                                              m.n_coarse);
+      if (audit != AuditLevel::kOff) {
+        AuditFailure f = audit_contraction(*cur, coarse, m.match, m.cmap,
+                                           audit);
+        if (!run_audit(f)) {
+          if (attempt == 1) throw AuditError(std::move(f));
+          continue;
+        }
+      }
+      levels.push_back({std::move(coarse), std::move(m.cmap)});
+      break;
+    }
     cur = &levels.back().graph;
     ++lvl;
   }
@@ -40,8 +144,12 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
   out.coarsest_vertices = cur->num_vertices();
 
   Partition p = mt_initial_partition(*cur, opts.k, opts.eps, ctx);
-  mt_refine(*cur, p, opts.eps, opts.refine_passes, ctx, lvl,
-            /*cut_stats=*/false);
+  if (audit != AuditLevel::kOff) {
+    AuditFailure f = audit_partition(*cur, p, opts.k, /*eps=*/0.0,
+                                     /*expected_cut=*/-1, audit);
+    if (!run_audit(f)) throw AuditError(std::move(f));
+  }
+  guarded_refine(*cur, p, lvl);
 
   for (std::size_t i = levels.size(); i-- > 0;) {
     const CsrGraph& fine = (i == 0) ? g : levels[i - 1].graph;
@@ -64,8 +172,12 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
             static_cast<std::uint64_t>(fine.num_vertices()) /
                 static_cast<std::uint64_t>(std::max(1, ctx.threads()))));
     p.where = std::move(fine_where);
-    mt_refine(fine, p, opts.eps, opts.refine_passes, ctx,
-              static_cast<int>(level_offset + i), /*cut_stats=*/false);
+    if (audit != AuditLevel::kOff) {
+      AuditFailure f = audit_partition(fine, p, opts.k, /*eps=*/0.0,
+                                       /*expected_cut=*/-1, audit);
+      if (!run_audit(f)) throw AuditError(std::move(f));
+    }
+    guarded_refine(fine, p, static_cast<int>(level_offset + i));
   }
   out.partition = std::move(p);
   return out;
@@ -79,13 +191,45 @@ PartitionResult MtMetisPartitioner::run(const CsrGraph& g,
   ThreadPool pool(opts.threads);
   MtContext ctx{&pool, &res.ledger, opts.seed};
 
-  auto out = mt_multilevel_pipeline(g, opts, ctx, 0);
-  res.partition = std::move(out.partition);
-  res.coarsen_levels = out.levels;
-  res.coarsest_vertices = out.coarsest_vertices;
+  auto injector = opts.make_fault_injector();
+  const Watchdog watchdog(opts.time_budget_seconds);
+  MtPipelineControl control{injector.get(), &res.health, &watchdog};
 
-  res.cut = edge_cut(g, res.partition);
-  res.balance = partition_balance(g, res.partition);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      auto out = mt_multilevel_pipeline(g, opts, ctx, 0, control);
+      res.partition = std::move(out.partition);
+      res.coarsen_levels = out.levels;
+      res.coarsest_vertices = out.coarsest_vertices;
+      res.cut = edge_cut(g, res.partition);
+      res.balance = partition_balance(g, res.partition);
+      if (opts.audit_level != AuditLevel::kOff) {
+        ++res.health.audits_run;
+        AuditFailure f = audit_partition(g, res.partition, opts.k, opts.eps,
+                                         static_cast<std::int64_t>(res.cut),
+                                         opts.audit_level);
+        if (!f.ok()) {
+          ++res.health.audits_failed;
+          res.health.note("audit: " + f.to_string());
+          throw AuditError(std::move(f));
+        }
+      }
+      break;
+    } catch (const AuditError& e) {
+      // Terminal escalation: one whole-run restart with corruption
+      // injection suppressed; a second failure is a genuine bug.
+      if (attempt >= 1 || !injector) throw;
+      ++res.health.rollbacks;
+      ++res.health.fallbacks;
+      res.health.degraded = true;
+      res.health.note(std::string("rollback: whole-run restart with "
+                                  "corruption suppressed (") +
+                      e.what() + ")");
+      injector->set_corruption_suppressed(true);
+    }
+  }
+
+  if (injector) injector->report_into(res.health);
   res.modeled_seconds = res.ledger.total_seconds();
   res.phases.coarsen = res.ledger.seconds_with_prefix("coarsen/");
   res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");

@@ -24,9 +24,28 @@ struct MtPipelineResult {
   vid_t     coarsest_vertices = 0;
 };
 
+/// Optional corruption-defense hooks threaded through the pipeline
+/// (DESIGN.md §3.5).  All members may be null: the default-constructed
+/// control reproduces the pre-audit pipeline exactly.
+struct MtPipelineControl {
+  /// Corruption site: a `cmap` rule perturbs one coarse-map entry on the
+  /// single-threaded path between matching and contraction.
+  FaultInjector* injector = nullptr;
+  /// Audit/rollback tallies and the event trail land here.
+  RunHealth* health = nullptr;
+  /// Deadline: refinement passes are shed once it expires.
+  const Watchdog* watchdog = nullptr;
+};
+
+/// Audits (opts.audit_level) run at phase boundaries; a failed
+/// contraction audit rolls the level back onto the serial reference
+/// implementations, a failed refinement audit restores the level's
+/// checkpoint.  Damage beyond level scope throws AuditError for the
+/// caller's run-level ladder.
 MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
                                         const PartitionOptions& opts,
                                         const MtContext& ctx,
-                                        int level_offset);
+                                        int level_offset,
+                                        const MtPipelineControl& control = {});
 
 }  // namespace gp

@@ -66,6 +66,15 @@ void SimComm::superstep(
           ++dropped_;
           continue;
         }
+        // Silent corruption: a `payload` rule garbles the message body in
+        // transit — the message is still delivered, just wrong, so the
+        // receiver's defensive checks (not the comm layer) must catch it.
+        std::uint64_t material = 0;
+        if (injector_ && !m.bytes.empty() &&
+            injector_->corrupt_payload(&material)) {
+          m.bytes[material % m.bytes.size()] ^=
+              static_cast<std::uint8_t>(1u << ((material >> 56) & 7u));
+        }
         pending_[static_cast<std::size_t>(dst)].push_back(std::move(m));
       }
     }

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
+#include <utility>
 
+#include "core/audit.hpp"
 #include "core/matching.hpp"
 #include "gpu/hash_table.hpp"
 #include "par/comm.hpp"
 #include "serial/hem_matching.hpp"
+#include "serial/metis_partitioner.hpp"
 #include "serial/rb_partition.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -107,21 +110,55 @@ void charge_ghost_exchange(CostLedger* ledger,
                           max_items * elem_bytes);
 }
 
-}  // namespace
-
-PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
-                                         const PartitionOptions& opts) const {
-  validate_options(g, opts);
-  WallTimer wall;
-  PartitionResult res;
-  const int P = std::max(1, opts.ranks);
-  ThreadPool pool(P);
-  SimComm comm(P, pool, &res.ledger);
-  const std::unique_ptr<FaultInjector> injector = opts.make_fault_injector();
-  comm.set_fault_injector(injector.get());
+/// One full distributed V-cycle.  Received records pass defensive bounds
+/// checks before they touch shared arrays — a garbled payload (a `payload`
+/// fault rule) is discarded like a lost message and the existing loss
+/// recovery (pending revert, asymmetric-match repair, cmap resend) heals
+/// it.  In-range garble survives delivery and is caught by the phase
+/// audits instead, which throw AuditError for the run-level ladder.
+void parmetis_attempt(const CsrGraph& g, const PartitionOptions& opts,
+                      int P, SimComm& comm, FaultInjector* injector,
+                      const Watchdog& watchdog, PartitionResult& res) {
   /// Bounded recovery: how many resend rounds a lost cmap message gets
   /// before the run aborts with CommFailure.
   constexpr int kMaxResendRounds = 4;
+
+  const AuditLevel audit = opts.audit_level;
+  auto run_audit = [&](const AuditFailure& f) {
+    ++res.health.audits_run;
+    if (!f.ok()) {
+      ++res.health.audits_failed;
+      res.health.note("audit: " + f.to_string());
+    }
+    return f.ok();
+  };
+  // Receive-side rejects, tallied per rank inside supersteps (one slot
+  // per rank: race-free) and drained on the single-threaded path after.
+  std::vector<std::uint64_t> discards(static_cast<std::size_t>(P), 0);
+  auto drain_discards = [&](const std::string& where) {
+    std::uint64_t total = 0;
+    for (auto& d : discards) {
+      total += d;
+      d = 0;
+    }
+    if (total == 0) return;
+    res.health.payload_discards += total;
+    res.health.degraded = true;
+    res.health.note("parmetis: discarded " + std::to_string(total) +
+                    " malformed record(s) in " + where +
+                    " (garbled payload)");
+  };
+  bool shed_noted = false;
+  auto watchdog_expired = [&]() {
+    if (!watchdog.expired()) return false;
+    if (!shed_noted) {
+      res.health.note("watchdog: time budget exceeded, shedding refinement");
+      ++res.health.fallbacks;
+      res.health.degraded = true;
+    }
+    shed_noted = true;
+    return true;
+  };
 
   struct Level {
     CsrGraph graph;             // graph at this (coarse) level
@@ -207,10 +244,12 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
             return work;
           });
 
-      // Grant superstep: owners arbitrate (heaviest request wins).
+      // Grant superstep: owners arbitrate (heaviest request wins).  A
+      // request whose endpoints fall outside the vertex range travelled
+      // through a garbled payload: reject it before it can index.
       comm.superstep(
           "coarsen/match/grant" + L + "/p" + std::to_string(pass),
-          [&](int /*rank*/, Mailbox& mb) -> std::uint64_t {
+          [&](int r, Mailbox& mb) -> std::uint64_t {
             std::uint64_t work = 0;
             std::vector<MatchRequest> reqs;
             for (const auto& m : mb.inbox()) {
@@ -225,6 +264,10 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
                 static_cast<std::size_t>(P));
             for (const auto& rq : reqs) {
               ++work;
+              if (rq.u < 0 || rq.u >= n || rq.v < 0 || rq.v >= n) {
+                ++discards[static_cast<std::size_t>(r)];
+                continue;
+              }
               if (match[static_cast<std::size_t>(rq.u)] != kInvalidVid)
                 continue;
               match[static_cast<std::size_t>(rq.u)] = rq.v;
@@ -240,15 +283,23 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
           });
 
       // Commit superstep: requesters adopt their grants; denied requests
-      // revert from pending to unmatched for the next pass.
+      // revert from pending to unmatched for the next pass.  A genuine
+      // grant always targets a pending requester — anything else is a
+      // garbled payload and is discarded (the asymmetric match it leaves
+      // at the owner is dissolved by the repair sweep below).
       comm.superstep(
           "coarsen/match/commit" + L + "/p" + std::to_string(pass),
           [&](int r, Mailbox& mb) -> std::uint64_t {
             std::uint64_t work = 0;
             for (const auto& m : mb.inbox()) {
               for (const auto& gr : m.as<Grant>()) {
-                match[static_cast<std::size_t>(gr.v)] = gr.u;
                 ++work;
+                if (gr.v < 0 || gr.v >= n || gr.u < 0 || gr.u >= n ||
+                    match[static_cast<std::size_t>(gr.v)] != kPendingVid) {
+                  ++discards[static_cast<std::size_t>(r)];
+                  continue;
+                }
+                match[static_cast<std::size_t>(gr.v)] = gr.u;
               }
             }
             for (vid_t v = dist.begin(r); v < dist.end(r); ++v) {
@@ -259,12 +310,14 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
             }
             return work;
           });
+      drain_discards("coarsen/match" + L + "/p" + std::to_string(pass));
     }
 
-    // Recovery (fault plans only): a dropped grant leaves the owner
-    // pointing at a requester whose pending state reverted — an
-    // asymmetric match that would corrupt the coarse numbering.  Dissolve
-    // such edges; the vertex self-matches below like any other leftover.
+    // Recovery (fault plans only): a dropped grant — or a discarded
+    // garbled one — leaves the owner pointing at a requester whose
+    // pending state reverted: an asymmetric match that would corrupt the
+    // coarse numbering.  Dissolve such edges; the vertex self-matches
+    // below like any other leftover.
     if (injector) {
       std::vector<std::uint64_t> repairs(static_cast<std::size_t>(P), 0);
       comm.superstep(
@@ -296,6 +349,13 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
                      }
                      return work;
                    });
+
+    // In-range garble that slipped past the receive checks surfaces here:
+    // the repaired+self-matched array must be a valid involution.
+    if (audit != AuditLevel::kOff) {
+      AuditFailure mf = audit_matching(match, audit);
+      if (!run_audit(mf)) throw AuditError(std::move(mf));
+    }
 
     // -- coarse numbering: cross-rank pair's leader is the lower-rank
     // endpoint (tie: lower id); ranks get contiguous coarse id ranges --
@@ -361,17 +421,25 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
           }
           return work;
         });
-    auto apply_cmap_msgs = [&](int, Mailbox& mb) -> std::uint64_t {
+    // A garbled label message is discarded like a lost one: the follower
+    // stays unlabeled and the bounded resend below repairs it.
+    auto apply_cmap_msgs = [&](int r, Mailbox& mb) -> std::uint64_t {
       std::uint64_t work = 0;
       for (const auto& m : mb.inbox()) {
         for (const auto& cm : m.as<CmapMsg>()) {
-          cmap[static_cast<std::size_t>(cm.follower)] = cm.coarse_id;
           ++work;
+          if (cm.follower < 0 || cm.follower >= n || cm.coarse_id < 0 ||
+              cm.coarse_id >= n_coarse) {
+            ++discards[static_cast<std::size_t>(r)];
+            continue;
+          }
+          cmap[static_cast<std::size_t>(cm.follower)] = cm.coarse_id;
         }
       }
       return work;
     };
     comm.superstep("coarsen/cmap/followers" + L, apply_cmap_msgs);
+    drain_discards("coarsen/cmap" + L);
 
     // Recovery (fault plans only): a dropped CmapMsg leaves a cross-rank
     // follower unlabeled, which would corrupt contraction.  Leaders rescan
@@ -417,6 +485,7 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
             });
         for (const auto c : resent) res.health.messages_resent += c;
         comm.superstep("coarsen/cmap/redeliver" + L + R, apply_cmap_msgs);
+        drain_discards("coarsen/cmap" + L + R);
       }
     }
 
@@ -511,6 +580,14 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
     CsrGraph coarse(std::move(cdeg), std::move(cadjncy), std::move(cadjwgt),
                     std::move(cvwgt));
 
+    // The distributed state (per-rank partial adjacency, shipped
+    // followers) has no cheaper recovery unit than the level itself, so a
+    // failed conservation audit escalates straight to the run ladder.
+    if (audit != AuditLevel::kOff) {
+      AuditFailure f = audit_contraction(*cur, coarse, match, cmap, audit);
+      if (!run_audit(f)) throw AuditError(std::move(f));
+    }
+
     if (static_cast<double>(n_coarse) >
         opts.min_shrink * static_cast<double>(n)) {
       break;  // stalled
@@ -603,6 +680,11 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
     if (cand_cut[r] < cand_cut[best]) best = r;
   }
   Partition p = std::move(candidates[best]);
+  if (audit != AuditLevel::kOff) {
+    AuditFailure f = audit_partition(*cur, p, opts.k, /*eps=*/0.0,
+                                     /*expected_cut=*/-1, audit);
+    if (!run_audit(f)) throw AuditError(std::move(f));
+  }
 
   // =========================== Uncoarsening ===========================
   const wgt_t total = g.total_vertex_weight();
@@ -639,9 +721,16 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
       charge_ghost_exchange(&res.ledger, fine, fdist, "project" + L,
                             sizeof(part_t));
       p.where = std::move(fwhere);
+      if (audit != AuditLevel::kOff) {
+        AuditFailure f = audit_partition(fine, p, opts.k, /*eps=*/0.0,
+                                         /*expected_cut=*/-1, audit);
+        if (!run_audit(f)) throw AuditError(std::move(f));
+      }
     }
 
-    // Refinement passes (direction-alternating, pass-committed).
+    // Refinement passes (direction-alternating, pass-committed), shed
+    // wholesale once the deadline watchdog expires.
+    if (watchdog_expired()) continue;
     auto pw = partition_weights(fine, p);
     int idle_passes = 0;
     for (int pass = 0; pass < opts.refine_passes; ++pass) {
@@ -739,6 +828,69 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
   res.partition.k = opts.k;
   res.cut = edge_cut(g, res.partition);
   res.balance = partition_balance(g, res.partition);
+  if (audit != AuditLevel::kOff) {
+    AuditFailure f = audit_partition(g, res.partition, opts.k, opts.eps,
+                                     static_cast<std::int64_t>(res.cut),
+                                     audit);
+    if (!run_audit(f)) throw AuditError(std::move(f));
+  }
+}
+
+}  // namespace
+
+PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
+                                         const PartitionOptions& opts) const {
+  validate_options(g, opts);
+  WallTimer wall;
+  PartitionResult res;
+  const int P = std::max(1, opts.ranks);
+  ThreadPool pool(P);
+  SimComm comm(P, pool, &res.ledger);
+  const std::unique_ptr<FaultInjector> injector = opts.make_fault_injector();
+  comm.set_fault_injector(injector.get());
+  const Watchdog watchdog(opts.time_budget_seconds);
+
+  for (int attempt = 0;; ++attempt) {
+    try {
+      parmetis_attempt(g, opts, P, comm, injector.get(), watchdog, res);
+      break;
+    } catch (const AuditError& e) {
+      if (!injector) throw;
+      ++res.health.rollbacks;
+      ++res.health.fallbacks;
+      res.health.degraded = true;
+      if (attempt == 0) {
+        // Rung 1: whole-run restart with corruption suppressed.  The
+        // injector's occurrence counters keep advancing, so `@N` rules do
+        // not re-fire and `:p=` rules are muted.
+        res.health.note(std::string("rollback: whole-run restart with "
+                                    "corruption suppressed (") +
+                        e.what() + ")");
+        injector->set_corruption_suppressed(true);
+      } else {
+        // Rung 2 (terminal): the distributed engine failed its restart —
+        // hand the whole run to the serial reference implementation.
+        res.health.note(std::string("parmetis: restart failed audit (") +
+                        e.what() +
+                        "); whole-run serial fallback with corruption "
+                        "suppressed");
+        PartitionOptions serial_opts = opts;
+        serial_opts.fault_spec.clear();
+        PartitionResult serial_res =
+            SerialMetisPartitioner().run(g, serial_opts);
+        res.partition = std::move(serial_res.partition);
+        res.cut = serial_res.cut;
+        res.balance = serial_res.balance;
+        res.coarsen_levels = serial_res.coarsen_levels;
+        res.coarsest_vertices = serial_res.coarsest_vertices;
+        res.health.audits_run += serial_res.health.audits_run;
+        res.health.audits_failed += serial_res.health.audits_failed;
+        res.ledger.merge("", serial_res.ledger);
+        break;
+      }
+    }
+  }
+
   if (injector) {
     res.health.messages_dropped += comm.messages_dropped();
     if (res.health.match_repairs > 0) {

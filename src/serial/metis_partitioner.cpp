@@ -1,7 +1,9 @@
 #include "serial/metis_partitioner.hpp"
 
 #include <memory>
+#include <utility>
 
+#include "core/audit.hpp"
 #include "core/matching.hpp"
 #include "serial/hem_matching.hpp"
 #include "serial/kway_refine.hpp"
@@ -11,18 +13,71 @@
 
 namespace gp {
 
-PartitionResult SerialMetisPartitioner::run(const CsrGraph& g,
-                                            const PartitionOptions& opts) const {
-  validate_options(g, opts);
-  WallTimer wall;
-  PartitionResult res;
+namespace {
+
+/// One full multilevel attempt.  Audits (opts.audit_level) run at phase
+/// boundaries; a failed contraction audit rolls the level back onto the
+/// reference cmap and re-contracts; damage beyond level scope throws
+/// AuditError for the run-level ladder.
+void serial_attempt(const CsrGraph& g, const PartitionOptions& opts,
+                    FaultInjector* injector, const Watchdog& watchdog,
+                    PartitionResult& res) {
   Rng rng(opts.seed);
+  const AuditLevel audit = opts.audit_level;
+  auto run_audit = [&](const AuditFailure& f) {
+    ++res.health.audits_run;
+    if (!f.ok()) {
+      ++res.health.audits_failed;
+      res.health.note("audit: " + f.to_string());
+    }
+    return f.ok();
+  };
+  bool shed_noted = false;
+  auto watchdog_expired = [&]() {
+    if (!watchdog.expired()) return false;
+    if (!shed_noted) {
+      res.health.note("watchdog: time budget exceeded, shedding refinement");
+      ++res.health.fallbacks;
+      res.health.degraded = true;
+    }
+    shed_noted = true;
+    return true;
+  };
+  /// Refine in place with a pre-refine checkpoint: a failed audit
+  /// restores the checkpoint and drops the level's refinement (the
+  /// serial refiner is deterministic, so retrying cannot help).
+  auto guarded_refine = [&](const CsrGraph& graph, Partition& p,
+                            const std::string& label) {
+    if (watchdog_expired()) return;
+    if (audit == AuditLevel::kOff) {
+      auto st = opts.pq_refinement
+                    ? kway_refine_pq(graph, p, opts.eps, opts.refine_passes)
+                    : kway_refine_serial(graph, p, opts.eps,
+                                         opts.refine_passes);
+      res.ledger.charge_serial(label, st.work_units);
+      return;
+    }
+    const std::vector<part_t> checkpoint = p.where;
+    auto st = opts.pq_refinement
+                  ? kway_refine_pq(graph, p, opts.eps, opts.refine_passes)
+                  : kway_refine_serial(graph, p, opts.eps,
+                                       opts.refine_passes);
+    res.ledger.charge_serial(label, st.work_units);
+    if (!run_audit(audit_partition(graph, p, opts.k, /*eps=*/0.0,
+                                   /*expected_cut=*/-1, audit))) {
+      ++res.health.rollbacks;
+      res.health.degraded = true;
+      res.health.note("rollback: " + label + " dropped, keeping checkpoint");
+      p.where = checkpoint;
+    }
+  };
 
   struct Level {
     CsrGraph graph;          // coarse graph produced at this level
     std::vector<vid_t> cmap; // fine->coarse map that produced it
   };
   std::vector<Level> levels;
+  res.levels.clear();
 
   // --- Coarsening ---
   const vid_t target = opts.coarsen_target();
@@ -35,14 +90,47 @@ PartitionResult SerialMetisPartitioner::run(const CsrGraph& g,
         opts.min_shrink * static_cast<double>(cur->num_vertices())) {
       break;  // matching stalled (e.g. star graphs); stop coarsening
     }
-    CsrGraph coarse = contract_serial(*cur, m.match, m.cmap, m.n_coarse);
+    // Corruption site: one cmap entry perturbed before contraction.
+    std::uint64_t material = 0;
+    if (injector && m.n_coarse > 1 && injector->corrupt_cmap(&material)) {
+      auto& slot = m.cmap[static_cast<std::size_t>(material % m.cmap.size())];
+      slot = static_cast<vid_t>(
+          (static_cast<std::uint64_t>(slot) + 1 +
+           (material >> 32) % static_cast<std::uint64_t>(m.n_coarse - 1)) %
+          static_cast<std::uint64_t>(m.n_coarse));
+    }
     const auto lvl = static_cast<int>(levels.size());
+    if (audit != AuditLevel::kOff) {
+      AuditFailure mf = audit_matching(m.match, audit);
+      if (!run_audit(mf)) throw AuditError(std::move(mf));
+    }
     res.ledger.charge_serial("coarsen/match/L" + std::to_string(lvl),
                              mstats.work_units);
-    res.ledger.charge_serial(
-        "coarsen/contract/L" + std::to_string(lvl),
-        static_cast<std::uint64_t>(cur->num_arcs() + coarse.num_arcs()));
-    levels.push_back({std::move(coarse), std::move(m.cmap)});
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (attempt == 1) {
+        ++res.health.rollbacks;
+        res.health.degraded = true;
+        res.health.note("rollback: coarsen/L" + std::to_string(lvl) +
+                        " re-contracted from rebuilt cmap");
+        auto rebuilt = build_cmap_serial(m.match);
+        m.cmap = std::move(rebuilt.first);
+        m.n_coarse = rebuilt.second;
+      }
+      CsrGraph coarse = contract_serial(*cur, m.match, m.cmap, m.n_coarse);
+      res.ledger.charge_serial(
+          "coarsen/contract/L" + std::to_string(lvl),
+          static_cast<std::uint64_t>(cur->num_arcs() + coarse.num_arcs()));
+      if (audit != AuditLevel::kOff) {
+        AuditFailure f = audit_contraction(*cur, coarse, m.match, m.cmap,
+                                           audit);
+        if (!run_audit(f)) {
+          if (attempt == 1) throw AuditError(std::move(f));
+          continue;
+        }
+      }
+      levels.push_back({std::move(coarse), std::move(m.cmap)});
+      break;
+    }
     cur = &levels.back().graph;
     res.levels.push_back({cur->num_vertices(), cur->num_edges()});
   }
@@ -53,14 +141,14 @@ PartitionResult SerialMetisPartitioner::run(const CsrGraph& g,
   RbStats rb_stats;
   Partition p = recursive_bisection(*cur, opts.k, opts.eps, rng, &rb_stats);
   res.ledger.charge_serial("initpart/rb", rb_stats.work_units);
+  if (audit != AuditLevel::kOff) {
+    AuditFailure f = audit_partition(*cur, p, opts.k, /*eps=*/0.0,
+                                     /*expected_cut=*/-1, audit);
+    if (!run_audit(f)) throw AuditError(std::move(f));
+  }
 
   // Refine the initial partition in place on the coarsest graph.
-  {
-    auto st = opts.pq_refinement
-                  ? kway_refine_pq(*cur, p, opts.eps, opts.refine_passes)
-                  : kway_refine_serial(*cur, p, opts.eps, opts.refine_passes);
-    res.ledger.charge_serial("initpart/refine", st.work_units);
-  }
+  guarded_refine(*cur, p, "initpart/refine");
 
   // --- Uncoarsening ---
   for (std::size_t i = levels.size(); i-- > 0;) {
@@ -69,16 +157,54 @@ PartitionResult SerialMetisPartitioner::run(const CsrGraph& g,
     res.ledger.charge_serial(
         "uncoarsen/project/L" + std::to_string(i),
         static_cast<std::uint64_t>(fine.num_vertices()));
-    auto st = opts.pq_refinement
-                  ? kway_refine_pq(fine, p, opts.eps, opts.refine_passes)
-                  : kway_refine_serial(fine, p, opts.eps, opts.refine_passes);
-    res.ledger.charge_serial("uncoarsen/refine/L" + std::to_string(i),
-                             st.work_units);
+    if (audit != AuditLevel::kOff) {
+      AuditFailure f = audit_partition(fine, p, opts.k, /*eps=*/0.0,
+                                       /*expected_cut=*/-1, audit);
+      if (!run_audit(f)) throw AuditError(std::move(f));
+    }
+    guarded_refine(fine, p, "uncoarsen/refine/L" + std::to_string(i));
   }
 
   res.partition = std::move(p);
   res.cut = edge_cut(g, res.partition);
   res.balance = partition_balance(g, res.partition);
+  if (audit != AuditLevel::kOff) {
+    AuditFailure f = audit_partition(g, res.partition, opts.k, opts.eps,
+                                     static_cast<std::int64_t>(res.cut),
+                                     audit);
+    if (!run_audit(f)) throw AuditError(std::move(f));
+  }
+}
+
+}  // namespace
+
+PartitionResult SerialMetisPartitioner::run(const CsrGraph& g,
+                                            const PartitionOptions& opts) const {
+  validate_options(g, opts);
+  WallTimer wall;
+  PartitionResult res;
+  auto injector = opts.make_fault_injector();
+  const Watchdog watchdog(opts.time_budget_seconds);
+
+  for (int attempt = 0;; ++attempt) {
+    try {
+      serial_attempt(g, opts, injector.get(), watchdog, res);
+      break;
+    } catch (const AuditError& e) {
+      // Terminal escalation: one whole-run restart with corruption
+      // injection suppressed; a second failure is a genuine bug.
+      if (attempt >= 1 || !injector) throw;
+      ++res.health.rollbacks;
+      ++res.health.fallbacks;
+      res.health.degraded = true;
+      res.health.note(std::string("rollback: whole-run restart with "
+                                  "corruption suppressed (") +
+                      e.what() + ")");
+      injector->set_corruption_suppressed(true);
+    }
+  }
+
+  if (injector) injector->report_into(res.health);
   res.modeled_seconds = res.ledger.total_seconds();
   res.phases.coarsen = res.ledger.seconds_with_prefix("coarsen/");
   res.phases.initpart = res.ledger.seconds_with_prefix("initpart/");

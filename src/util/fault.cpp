@@ -16,6 +16,9 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kD2H:       return "d2h";
     case FaultSite::kMsg:       return "msg";
     case FaultSite::kSuperstep: return "superstep";
+    case FaultSite::kFlip:      return "flip";
+    case FaultSite::kPayload:   return "payload";
+    case FaultSite::kCmap:      return "cmap";
     default:                    return "?";
   }
 }
@@ -174,6 +177,54 @@ FaultInjector::Action FaultInjector::on_device_op(int device_id,
   return Action::kNone;
 }
 
+bool FaultInjector::corrupt_site_locked(FaultSite site,
+                                        std::uint64_t* material,
+                                        const std::string& detail) {
+  if (suppress_corruption_) {
+    // Still advance the counter so @N schedules stay aligned with the
+    // uncorrupted occurrence stream.
+    ++counters_[static_cast<int>(site)];
+    return false;
+  }
+  if (!site_fires_locked(site)) return false;
+  const std::uint64_t n = counters_[static_cast<int>(site)] - 1;
+  // Distinct constant from the :p= decision draw so the material is not
+  // correlated with the firing test.
+  SplitMix64 h(seed_ ^ (static_cast<std::uint64_t>(site) * 0x9e3779b9ULL) ^
+               (n * 0xd1b54a32d192ed03ULL) ^ 0x5bf0363546a9b1c7ULL);
+  *material = h.next();
+  ++fired_;
+  ++corrupted_;
+  std::string ev = std::string(fault_site_name(site)) + "@" +
+                   std::to_string(n) + " corrupted";
+  if (!detail.empty()) ev += " (" + detail + ")";
+  events_.push_back(std::move(ev));
+  return true;
+}
+
+bool FaultInjector::corrupt_transfer(std::uint64_t* material,
+                                     const std::string& what) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corrupt_site_locked(FaultSite::kFlip, material, what);
+}
+
+bool FaultInjector::corrupt_payload(std::uint64_t* material) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corrupt_site_locked(FaultSite::kPayload, material, "");
+}
+
+bool FaultInjector::corrupt_cmap(std::uint64_t* material) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corrupt_site_locked(FaultSite::kCmap, material, "");
+}
+
+void FaultInjector::set_corruption_suppressed(bool suppressed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (suppress_corruption_ == suppressed) return;
+  suppress_corruption_ = suppressed;
+  if (suppressed) events_.push_back("corruption injection suppressed");
+}
+
 bool FaultInjector::superstep_blackout(std::uint64_t superstep) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!site_fires_locked(FaultSite::kSuperstep)) return false;
@@ -217,10 +268,16 @@ std::uint64_t FaultInjector::devices_lost() const {
   return lost_devices_;
 }
 
+std::uint64_t FaultInjector::corruptions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corrupted_;
+}
+
 void FaultInjector::report_into(RunHealth& health) const {
   std::lock_guard<std::mutex> lock(mutex_);
   health.faults_injected += fired_;
   health.devices_lost += lost_devices_;
+  health.corruptions_injected += corrupted_;
   for (const auto& e : events_) health.events.push_back("fault: " + e);
   if (fired_ > 0) health.degraded = true;
 }

@@ -18,6 +18,9 @@
 //   device0:lost@40    device 0 fails starting at its 40th operation
 //   rank2:fail         rank 2 fail-stops (detected at the next superstep)
 //   rank1:fail@6       rank 1 fail-stops from superstep 6 on
+//   flip@4  flip:p=    bit-flip in the Nth device transfer's payload
+//   payload@2          garble the body of the Nth routed message
+//   cmap@0             perturb one coarse-map entry at the Nth contraction
 //
 // Occurrence counters advance only on host-side, single-threaded paths
 // (launch entry, transfer metering, message routing), so the schedule is
@@ -39,6 +42,9 @@ enum class FaultSite : int {
   kD2H,
   kMsg,
   kSuperstep,
+  kFlip,     ///< silent bit-flip in a device transfer payload
+  kPayload,  ///< silent garble of a routed message body
+  kCmap,     ///< silent perturbation of a coarse-map entry
   kNumSites,
 };
 
@@ -84,7 +90,12 @@ struct RunHealth {
   std::uint64_t messages_dropped = 0;  ///< comm messages eaten in transit
   std::uint64_t messages_resent = 0;   ///< recovery resends (parmetis cmap)
   std::uint64_t match_repairs = 0;     ///< asymmetric matches repaired
+  std::uint64_t payload_discards = 0;  ///< malformed records rejected on receive
   std::uint64_t fallbacks = 0;         ///< policy downgrades taken
+  std::uint64_t audits_run = 0;        ///< invariant audits executed
+  std::uint64_t audits_failed = 0;     ///< audits that found corruption
+  std::uint64_t rollbacks = 0;         ///< level/phase re-executions
+  std::uint64_t corruptions_injected = 0;  ///< silent corruptions planted
   bool          degraded = false;      ///< result came off the nominal path
   std::vector<std::string> events;     ///< ordered fault/fallback trail
 
@@ -119,14 +130,36 @@ class FaultInjector {
   /// the comm layer when it fail-stops).
   void record_rank_failure(int rank, std::uint64_t superstep);
 
+  /// Silent-corruption checks (DESIGN.md §3.5).  Each counts one
+  /// occurrence of its site; when the plan says to corrupt, `*material`
+  /// receives 64 bits derived from (seed, site, occurrence) — the caller
+  /// uses them to pick the byte/bit/index to mutate, so the same
+  /// (seed, spec) replays byte-identically.  All return false while
+  /// corruption is suppressed (terminal escalation steps turn injection
+  /// off to guarantee convergence under `:p=` rules).
+  [[nodiscard]] bool corrupt_transfer(std::uint64_t* material,
+                                      const std::string& what);
+  [[nodiscard]] bool corrupt_payload(std::uint64_t* material);
+  [[nodiscard]] bool corrupt_cmap(std::uint64_t* material);
+
+  /// Disables (or re-enables) the corruption sites.  Recorded in the
+  /// event trail; deterministic because it is only toggled in response
+  /// to deterministic audit outcomes.
+  void set_corruption_suppressed(bool suppressed);
+
   [[nodiscard]] std::uint64_t faults_fired() const;
   [[nodiscard]] std::uint64_t devices_lost() const;
+  [[nodiscard]] std::uint64_t corruptions() const;
 
   /// Folds the injector's tallies and event trail into a health record.
   void report_into(RunHealth& health) const;
 
  private:
   bool site_fires_locked(FaultSite site);  ///< counts an occurrence
+  /// As site_fires_locked, but also derives the corruption material for
+  /// the firing occurrence.
+  bool corrupt_site_locked(FaultSite site, std::uint64_t* material,
+                           const std::string& detail);
 
   std::uint64_t seed_;
   FaultPlan     plan_;
@@ -137,6 +170,8 @@ class FaultInjector {
   std::vector<char>          device_dead_;  ///< loss already reported
   std::uint64_t fired_ = 0;
   std::uint64_t lost_devices_ = 0;
+  std::uint64_t corrupted_ = 0;
+  bool          suppress_corruption_ = false;
   std::vector<std::string> events_;
 };
 

@@ -1,0 +1,185 @@
+// Unit tests for src/core/audit: level parsing, the four phase-boundary
+// invariant audits, the deadline watchdog, and the stored-field overload
+// of validate_partition (DESIGN.md §3.5).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/audit.hpp"
+#include "core/matching.hpp"
+#include "gen/generators.hpp"
+#include "serial/hem_matching.hpp"
+#include "serial/rb_partition.hpp"
+#include "util/rng.hpp"
+
+namespace gp {
+namespace {
+
+TEST(AuditLevelParse, AcceptsTheThreeLevels) {
+  EXPECT_EQ(parse_audit_level("off"), AuditLevel::kOff);
+  EXPECT_EQ(parse_audit_level("phase"), AuditLevel::kPhase);
+  EXPECT_EQ(parse_audit_level("paranoid"), AuditLevel::kParanoid);
+}
+
+TEST(AuditLevelParse, RejectsAnythingElse) {
+  EXPECT_THROW((void)parse_audit_level(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_audit_level("ON"), std::invalid_argument);
+  EXPECT_THROW((void)parse_audit_level("paranoia"), std::invalid_argument);
+}
+
+TEST(AuditLevelParse, NamesRoundTrip) {
+  for (const auto level :
+       {AuditLevel::kOff, AuditLevel::kPhase, AuditLevel::kParanoid}) {
+    EXPECT_EQ(parse_audit_level(audit_level_name(level)), level);
+  }
+}
+
+TEST(AuditCsr, PassesOnWellFormedGraph) {
+  const auto g = delaunay_graph(500, 3);
+  EXPECT_TRUE(audit_csr(g, AuditLevel::kPhase).ok());
+}
+
+TEST(AuditMatching, PassesOnRealMatching) {
+  const auto g = delaunay_graph(500, 3);
+  Rng rng(1);
+  const auto m = hem_match_serial(g, rng, nullptr);
+  EXPECT_TRUE(audit_matching(m.match, AuditLevel::kPhase).ok());
+}
+
+TEST(AuditMatching, DetectsBrokenInvolution) {
+  std::vector<vid_t> match{1, 0, 3, 2};
+  EXPECT_TRUE(audit_matching(match, AuditLevel::kPhase).ok());
+  match[3] = 0;  // 3 -> 0 but 0 -> 1: not an involution
+  const auto f = audit_matching(match, AuditLevel::kPhase);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.kind, AuditFailure::Kind::kMatching);
+  EXPECT_FALSE(f.to_string().empty());
+}
+
+TEST(AuditMatching, DetectsOutOfRange) {
+  const std::vector<vid_t> match{1, 0, 99, 3};
+  EXPECT_FALSE(audit_matching(match, AuditLevel::kPhase).ok());
+}
+
+TEST(AuditContraction, PassesOnSerialReference) {
+  const auto g = delaunay_graph(800, 5);
+  Rng rng(2);
+  const auto m = hem_match_serial(g, rng, nullptr);
+  const auto coarse = contract_serial(g, m.match, m.cmap, m.n_coarse);
+  EXPECT_TRUE(
+      audit_contraction(g, coarse, m.match, m.cmap, AuditLevel::kParanoid)
+          .ok());
+}
+
+TEST(AuditContraction, DetectsPerturbedCmap) {
+  const auto g = delaunay_graph(800, 5);
+  Rng rng(2);
+  auto m = hem_match_serial(g, rng, nullptr);
+  const auto coarse = contract_serial(g, m.match, m.cmap, m.n_coarse);
+  // Redirect one fine vertex to a different (valid) coarse id: weight
+  // sums and cmap consistency can no longer both hold.
+  m.cmap[7] = (m.cmap[7] + 1) % m.n_coarse;
+  const auto f =
+      audit_contraction(g, coarse, m.match, m.cmap, AuditLevel::kPhase);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.kind, AuditFailure::Kind::kContraction);
+}
+
+TEST(AuditPartition, PassesOnRealPartition) {
+  const auto g = delaunay_graph(800, 5);
+  Rng rng(3);
+  const auto p = recursive_bisection(g, 4, 0.05, rng, nullptr);
+  const auto cut = edge_cut(g, p);
+  EXPECT_TRUE(
+      audit_partition(g, p, 4, 0.05, static_cast<std::int64_t>(cut),
+                      AuditLevel::kPhase)
+          .ok());
+}
+
+TEST(AuditPartition, DetectsOutOfRangeLabelBeforeMetricRecompute) {
+  const auto g = delaunay_graph(800, 5);
+  Rng rng(3);
+  auto p = recursive_bisection(g, 4, 0.05, rng, nullptr);
+  // A wildly out-of-range label must be reported as a range violation —
+  // not crash the cut/balance recomputation it would otherwise index.
+  p.where[11] = 1 << 20;
+  const auto f = audit_partition(g, p, 4, 0.05, -1, AuditLevel::kPhase);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.kind, AuditFailure::Kind::kPartition);
+}
+
+TEST(AuditPartition, DetectsCutMismatch) {
+  const auto g = delaunay_graph(800, 5);
+  Rng rng(3);
+  const auto p = recursive_bisection(g, 4, 0.05, rng, nullptr);
+  const auto cut = edge_cut(g, p);
+  const auto f = audit_partition(g, p, 4, /*eps=*/0.0,
+                                 static_cast<std::int64_t>(cut) + 1,
+                                 AuditLevel::kPhase);
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(AuditPartition, DetectsImbalance) {
+  const auto g = delaunay_graph(800, 5);
+  Partition p;
+  p.k = 4;
+  // Everything in part 0: balance ~4.0, far beyond any tolerance.
+  p.where.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  const auto f = audit_partition(g, p, 4, 0.05, -1, AuditLevel::kPhase);
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(AuditPartition, ZeroEpsSkipsBalanceCheck) {
+  const auto g = delaunay_graph(800, 5);
+  Partition p;
+  p.k = 4;
+  p.where.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  EXPECT_TRUE(audit_partition(g, p, 4, /*eps=*/0.0, -1, AuditLevel::kPhase)
+                  .ok());
+}
+
+TEST(Watchdog, DisabledByDefaultAndAtZeroBudget) {
+  const Watchdog none;
+  EXPECT_FALSE(none.enabled());
+  EXPECT_FALSE(none.expired());
+  const Watchdog zero(0.0);
+  EXPECT_FALSE(zero.enabled());
+  EXPECT_FALSE(zero.expired());
+}
+
+TEST(Watchdog, ExpiresAfterBudget) {
+  const Watchdog w(1e-4);
+  EXPECT_TRUE(w.enabled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(w.expired());
+  EXPECT_GT(w.elapsed_seconds(), 0.0);
+}
+
+TEST(Watchdog, GenerousBudgetDoesNotExpire) {
+  const Watchdog w(3600.0);
+  EXPECT_TRUE(w.enabled());
+  EXPECT_FALSE(w.expired());
+}
+
+TEST(ValidatePartitionStoredFields, PassesWhenFieldsMatch) {
+  const auto g = delaunay_graph(800, 5);
+  Rng rng(4);
+  const auto p = recursive_bisection(g, 4, 0.05, rng, nullptr);
+  EXPECT_TRUE(
+      validate_partition(g, p, edge_cut(g, p), partition_balance(g, p))
+          .empty());
+}
+
+TEST(ValidatePartitionStoredFields, DetectsMetricDrift) {
+  const auto g = delaunay_graph(800, 5);
+  Rng rng(4);
+  const auto p = recursive_bisection(g, 4, 0.05, rng, nullptr);
+  const auto cut = edge_cut(g, p);
+  const auto bal = partition_balance(g, p);
+  EXPECT_FALSE(validate_partition(g, p, cut + 1, bal).empty());
+  EXPECT_FALSE(validate_partition(g, p, cut, bal + 0.5).empty());
+}
+
+}  // namespace
+}  // namespace gp

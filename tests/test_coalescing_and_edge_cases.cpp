@@ -112,7 +112,7 @@ TEST(MetisIo, IsolatedVertexLines) {
   // Note: a line holding a single space is "blank" and skipped — so this
   // stream is one data line short and must be rejected, which guards
   // against silently mis-shifting adjacency lines.
-  EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+  EXPECT_THROW(read_metis_graph(in), std::invalid_argument);
 }
 
 TEST(MetisIo, WeightedRoundTripThroughFile) {

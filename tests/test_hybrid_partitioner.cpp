@@ -157,7 +157,7 @@ TEST(GpMetis, FullPipelineValidOnAllPaperGraphShapes) {
     opts.gpu_cpu_threshold = 2000;
     GpPhaseLog log;
     const auto r = gp_metis_run(g, opts, &log);
-    EXPECT_TRUE(validate_partition(g, r.partition).empty()) << info.name;
+    EXPECT_TRUE(validate_partition(g, r.partition, r.cut, r.balance).empty()) << info.name;
     EXPECT_EQ(r.cut, edge_cut(g, r.partition)) << info.name;
     for (const auto w : partition_weights(g, r.partition))
       EXPECT_GT(w, 0) << info.name;
@@ -221,7 +221,7 @@ TEST(GpMetis, SmallGraphSkipsGpuCoarsening) {
   opts.k = 4;
   GpPhaseLog log;
   const auto r = gp_metis_run(g, opts, &log);
-  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_TRUE(validate_partition(g, r.partition, r.cut, r.balance).empty());
   EXPECT_EQ(log.gpu_coarsen_levels, 0);
 }
 
@@ -263,7 +263,7 @@ TEST(GpMetis, DegradesToCpuWhenDeviceMemoryTooSmall) {
   opts.k = 4;
   opts.gpu_memory_bytes = 400;
   const auto r = make_hybrid_partitioner()->run(g, opts);
-  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_TRUE(validate_partition(g, r.partition, r.cut, r.balance).empty());
   EXPECT_GT(r.cut, 0);
   EXPECT_LE(r.balance, 1.0 + opts.eps + 0.05);
   EXPECT_TRUE(r.health.degraded);
@@ -280,7 +280,7 @@ TEST(GpMetis, FixedLaunchWidthVariantWorksEndToEnd) {
   opts.gpu_cpu_threshold = 1000;
   opts.gpu_shrink_launch = false;
   const auto r = make_hybrid_partitioner()->run(g, opts);
-  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_TRUE(validate_partition(g, r.partition, r.cut, r.balance).empty());
 }
 
 TEST(GpMetis, SortMergeContractionVariantWorksEndToEnd) {
@@ -290,7 +290,7 @@ TEST(GpMetis, SortMergeContractionVariantWorksEndToEnd) {
   opts.gpu_cpu_threshold = 1000;
   opts.gpu_hash_contraction = false;  // quicksort+remove path
   const auto r = make_hybrid_partitioner()->run(g, opts);
-  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_TRUE(validate_partition(g, r.partition, r.cut, r.balance).empty());
 }
 
 }  // namespace

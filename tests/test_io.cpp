@@ -32,19 +32,19 @@ TEST(MetisIo, ParsesWeights) {
 TEST(MetisIo, RejectsBadInputs) {
   {
     std::istringstream in("");
-    EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+    EXPECT_THROW(read_metis_graph(in), std::invalid_argument);
   }
   {
     std::istringstream in("3 2\n2\n1 3\n");  // missing last line
-    EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+    EXPECT_THROW(read_metis_graph(in), std::invalid_argument);
   }
   {
     std::istringstream in("3 2\n9\n1 3\n2\n");  // neighbour out of range
-    EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+    EXPECT_THROW(read_metis_graph(in), std::invalid_argument);
   }
   {
     std::istringstream in("3 5\n2\n1 3\n2\n");  // wrong edge count
-    EXPECT_THROW(read_metis_graph(in), std::runtime_error);
+    EXPECT_THROW(read_metis_graph(in), std::invalid_argument);
   }
 }
 
@@ -97,15 +97,15 @@ TEST(DimacsIo, ParsesRoadFormat) {
 TEST(DimacsIo, RejectsBadInputs) {
   {
     std::istringstream in("a 1 2 3\n");  // arc before p
-    EXPECT_THROW(read_dimacs_gr(in), std::runtime_error);
+    EXPECT_THROW(read_dimacs_gr(in), std::invalid_argument);
   }
   {
     std::istringstream in("p sp 2 1\na 1 9 3\n");  // out of range
-    EXPECT_THROW(read_dimacs_gr(in), std::runtime_error);
+    EXPECT_THROW(read_dimacs_gr(in), std::invalid_argument);
   }
   {
     std::istringstream in("p sp 2 5\na 1 2 3\n");  // arc count mismatch
-    EXPECT_THROW(read_dimacs_gr(in), std::runtime_error);
+    EXPECT_THROW(read_dimacs_gr(in), std::invalid_argument);
   }
 }
 

@@ -1,0 +1,102 @@
+// Malformed-input corpus sweep: every file under tests/data/malformed must
+// be rejected with a descriptive std::invalid_argument, never a crash, a
+// silent success, or an unrelated exception type.  The corpus covers the
+// failure classes a parser meets in the wild: truncation, garbage tokens,
+// header/body count mismatches, out-of-range ids, and non-positive weights.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/dimacs_io.hpp"
+#include "io/metis_io.hpp"
+
+#ifndef GP_TEST_DATA_DIR
+#error "GP_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace gp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus(const std::string& format) {
+  const fs::path dir = fs::path(GP_TEST_DATA_DIR) / "malformed" / format;
+  std::vector<fs::path> files;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file()) files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(MalformedCorpus, MetisCorpusIsSubstantial) {
+  EXPECT_GE(corpus("metis").size(), 10u);
+}
+
+TEST(MalformedCorpus, DimacsCorpusIsSubstantial) {
+  EXPECT_GE(corpus("dimacs").size(), 10u);
+}
+
+TEST(MalformedCorpus, EveryMetisFileRejectedDescriptively) {
+  for (const auto& path : corpus("metis")) {
+    SCOPED_TRACE(path.filename().string());
+    try {
+      (void)read_metis_graph_file(path.string());
+      FAIL() << "parsed without error";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("metis:"), std::string::npos) << msg;
+      EXPECT_GT(msg.size(), 20u) << "diagnostic too terse: " << msg;
+    } catch (const std::exception& e) {
+      FAIL() << "wrong exception type: " << e.what();
+    }
+  }
+}
+
+TEST(MalformedCorpus, EveryDimacsFileRejectedDescriptively) {
+  for (const auto& path : corpus("dimacs")) {
+    SCOPED_TRACE(path.filename().string());
+    try {
+      (void)read_dimacs_gr_file(path.string());
+      FAIL() << "parsed without error";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("dimacs:"), std::string::npos) << msg;
+      EXPECT_GT(msg.size(), 20u) << "diagnostic too terse: " << msg;
+    } catch (const std::exception& e) {
+      FAIL() << "wrong exception type: " << e.what();
+    }
+  }
+}
+
+// Line numbers in diagnostics: the whole point of the hardened parsers is
+// that a user can open the file at the reported line.
+TEST(MalformedCorpus, MetisDiagnosticsCarryLineNumbers) {
+  const fs::path p =
+      fs::path(GP_TEST_DATA_DIR) / "malformed" / "metis" /
+      "08_neighbor_out_of_range.graph";
+  try {
+    (void)read_metis_graph_file(p.string());
+    FAIL() << "parsed without error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MalformedCorpus, DimacsDiagnosticsCarryLineNumbers) {
+  const fs::path p = fs::path(GP_TEST_DATA_DIR) / "malformed" / "dimacs" /
+                     "08_endpoint_out_of_range.gr";
+  try {
+    (void)read_dimacs_gr_file(p.string());
+    FAIL() << "parsed without error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace gp

@@ -139,7 +139,7 @@ TEST_P(MtDriverThreads, FullPipelineValid) {
   opts.k = 16;
   opts.threads = GetParam();
   const auto r = MtMetisPartitioner().run(g, opts);
-  EXPECT_TRUE(validate_partition(g, r.partition).empty());
+  EXPECT_TRUE(validate_partition(g, r.partition, r.cut, r.balance).empty());
   EXPECT_EQ(r.cut, edge_cut(g, r.partition));
   EXPECT_LE(r.balance, 1.35);
   EXPECT_GT(r.coarsen_levels, 1);
@@ -187,7 +187,7 @@ TEST(MtDriver, RoadNetworkBalanceAcrossSeeds) {
     opts.k = 64;
     opts.seed = seed;
     const auto r = MtMetisPartitioner().run(g, opts);
-    ASSERT_TRUE(validate_partition(g, r.partition).empty()) << seed;
+    ASSERT_TRUE(validate_partition(g, r.partition, r.cut, r.balance).empty()) << seed;
     for (const auto w : partition_weights(g, r.partition)) {
       EXPECT_LE(w, maxw) << "seed " << seed;
     }

@@ -19,6 +19,14 @@
 //   --fault-spec <s> fault-injection schedule, e.g. "alloc@3;kernel:p=0.01"
 //                    (see src/util/fault.hpp for the full grammar)
 //   --fault-seed <n> seed for probabilistic fault rules (default 0)
+//   --audit <level>  invariant audits: off|phase|paranoid (default off)
+//   --time-budget <s>  wall-clock budget in seconds; refinement is shed
+//                    once it expires (default: unlimited)
+//   --verbose        always print the run-health trail
+//
+// Exit codes: 0 success, 1 I/O or runtime error, 2 usage error,
+// 3 success on a degraded path (faults/audits forced a fallback — the
+// partition is valid but came off the nominal configuration).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -38,7 +46,9 @@ void usage() {
   std::fprintf(stderr,
                "usage: gpmetis <graph-file> <k> [--system NAME] [--eps F] "
                "[--seed N] [--threads N] [--ranks N] [--devices N] "
-               "[--dimacs] [--out PATH] [--fault-spec S] [--fault-seed N]\n");
+               "[--dimacs] [--out PATH] [--fault-spec S] [--fault-seed N] "
+               "[--audit off|phase|paranoid] [--time-budget SECONDS] "
+               "[--verbose]\n");
 }
 
 }  // namespace
@@ -57,6 +67,7 @@ int main(int argc, char** argv) {
   bool dimacs = false;
   bool binary = false;
   bool report = false;
+  bool verbose = false;
   std::string ledger_path;
   for (int i = 3; i < argc; ++i) {
     auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
@@ -73,6 +84,16 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--out")) out_path = next();
     else if (!std::strcmp(argv[i], "--fault-spec")) opts.fault_spec = next();
     else if (!std::strcmp(argv[i], "--fault-seed")) opts.fault_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (!std::strcmp(argv[i], "--audit")) {
+      try {
+        opts.audit_level = parse_audit_level(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    }
+    else if (!std::strcmp(argv[i], "--time-budget")) opts.time_budget_seconds = std::atof(next());
+    else if (!std::strcmp(argv[i], "--verbose")) verbose = true;
     else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       usage();
@@ -110,7 +131,7 @@ int main(int argc, char** argv) {
                 r.modeled_seconds, r.phases.coarsen, r.phases.initpart,
                 r.phases.uncoarsen, r.phases.transfer);
     std::printf("wall:     %.4f s (this machine)\n", r.wall_seconds);
-    if (!opts.fault_spec.empty() || r.health.degraded) {
+    if (verbose || !opts.fault_spec.empty() || r.health.degraded) {
       std::printf("%s", format_health(r.health).c_str());
     }
 
@@ -128,7 +149,10 @@ int main(int argc, char** argv) {
     if (out_path.empty()) out_path = path + ".part." + std::to_string(opts.k);
     write_partition_file(out_path, r.partition.where);
     std::printf("partition written to %s\n", out_path.c_str());
-    return 0;
+    // A valid partition that came off a degraded path (fallbacks,
+    // rollbacks, shed refinement) is reported distinctly so scripted
+    // callers can tell "fine" from "fine, but the run self-healed".
+    return r.health.degraded ? 3 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
