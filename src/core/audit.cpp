@@ -30,6 +30,7 @@ std::string AuditFailure::to_string() const {
     case Kind::kMatching:    kind_name = "matching"; break;
     case Kind::kContraction: kind_name = "contraction"; break;
     case Kind::kPartition:   kind_name = "partition"; break;
+    case Kind::kGainCache:   kind_name = "gain-cache"; break;
   }
   return std::string("audit failed [") + kind_name + "/" + invariant +
          "]: " + detail;
@@ -190,6 +191,24 @@ AuditFailure audit_partition(const CsrGraph& g, const Partition& p, part_t k,
         return fail(AuditFailure::Kind::kPartition, "balance", os.str());
       }
     }
+  }
+  return {};
+}
+
+AuditFailure audit_gain_cache(const CsrGraph& g,
+                              const std::vector<part_t>& where,
+                              const GainCache& cache, AuditLevel level) {
+  if (level < AuditLevel::kParanoid) return {};
+  if (!cache.ready() ||
+      cache.num_vertices() != g.num_vertices()) {
+    return fail(AuditFailure::Kind::kGainCache, "shape",
+                "cache not built for this graph (n=" +
+                    std::to_string(cache.ready() ? cache.num_vertices() : 0) +
+                    " vs " + std::to_string(g.num_vertices()) + ")");
+  }
+  std::string err = cache.compare_to_rebuild(g, where);
+  if (!err.empty()) {
+    return fail(AuditFailure::Kind::kGainCache, "recompute", std::move(err));
   }
   return {};
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/csr_graph.hpp"
+#include "core/gain_cache.hpp"
 #include "core/matching.hpp"
 #include "core/partition.hpp"
 
@@ -50,6 +51,7 @@ struct AuditFailure {
     kMatching,     ///< match array not a valid involution
     kContraction,  ///< cmap/coarse graph inconsistent with the fine graph
     kPartition,    ///< assignment incomplete, cut/balance wrong
+    kGainCache,    ///< incremental gain cache disagrees with recompute
   };
 
   Kind        kind = Kind::kNone;
@@ -105,6 +107,18 @@ class AuditError : public std::runtime_error {
                                            part_t k, double eps,
                                            std::int64_t expected_cut,
                                            AuditLevel level);
+
+/// Gain-cache / recompute cross-check (DESIGN.md §3.6): at kParanoid the
+/// incremental id/ed + connectivity-table state every refiner consumed
+/// this level is compared entry-for-entry against a fresh build from `g`
+/// and `where`, so silent corruption of the cache (or a delta-protocol
+/// bug) is caught at the same phase boundary as partition damage.  Below
+/// kParanoid the check is skipped (full recompute is exactly the cost the
+/// cache exists to avoid).
+[[nodiscard]] AuditFailure audit_gain_cache(const CsrGraph& g,
+                                            const std::vector<part_t>& where,
+                                            const GainCache& cache,
+                                            AuditLevel level);
 
 /// Deadline watchdog for the time_budget_seconds option: wall-clock
 /// budget checked at phase boundaries.  A zero/negative budget disables

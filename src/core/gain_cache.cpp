@@ -1,0 +1,266 @@
+#include "core/gain_cache.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace gp {
+
+void GainCache::init(const CsrGraph& g, part_t k) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  k_ = k;
+  ed_total_ = 0;
+  id_.assign(n, 0);
+  ed_.assign(n, 0);
+  cnt_.assign(n, 0);
+  off_.assign(n + 1, 0);
+  // Per-vertex capacity: a vertex can touch at most min(degree, k - 1)
+  // distinct foreign parts; min(degree, k) is a safe, simple bound.
+  for (std::size_t v = 0; v < n; ++v) {
+    const eid_t cap = std::min<eid_t>(g.degree(static_cast<vid_t>(v)),
+                                      static_cast<eid_t>(k));
+    off_[v + 1] = off_[v] + cap;
+  }
+  part_.assign(static_cast<std::size_t>(off_[n]), kInvalidPart);
+  wgt_.assign(static_cast<std::size_t>(off_[n]), 0);
+}
+
+std::uint64_t GainCache::build_range(const CsrGraph& g,
+                                     const std::vector<part_t>& where,
+                                     vid_t vb, vid_t ve, wgt_t* ed_partial) {
+  std::uint64_t work = 0;
+  wgt_t ed_sum = 0;
+  for (vid_t v = vb; v < ve; ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.neighbor_weights(v);
+    work += nbrs.size() + 1;
+    const part_t pv = where[static_cast<std::size_t>(v)];
+    const eid_t  base = off_[static_cast<std::size_t>(v)];
+    std::int32_t used = 0;
+    wgt_t        internal = 0;
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      const part_t pu = where[static_cast<std::size_t>(nbrs[j])];
+      if (pu == pv) {
+        internal += wts[j];
+        continue;
+      }
+      std::int32_t s = 0;
+      while (s < used && part_[static_cast<std::size_t>(base + s)] != pu) ++s;
+      if (s == used) {
+        part_[static_cast<std::size_t>(base + s)] = pu;
+        wgt_[static_cast<std::size_t>(base + s)] = 0;
+        ++used;
+      }
+      wgt_[static_cast<std::size_t>(base + s)] += wts[j];
+    }
+    id_[static_cast<std::size_t>(v)] = internal;
+    wgt_t external = 0;
+    for (std::int32_t s = 0; s < used; ++s) {
+      external += wgt_[static_cast<std::size_t>(base + s)];
+    }
+    ed_[static_cast<std::size_t>(v)] = external;
+    cnt_[static_cast<std::size_t>(v)] = used;
+    ed_sum += external;
+  }
+  *ed_partial += ed_sum;
+  return work;
+}
+
+void GainCache::build(const CsrGraph& g, const std::vector<part_t>& where,
+                      part_t k) {
+  init(g, k);
+  wgt_t ed_sum = 0;
+  build_range(g, where, 0, g.num_vertices(), &ed_sum);
+  finish_totals(ed_sum);
+}
+
+std::uint64_t GainCache::project_range(const GainCache& coarse,
+                                       const CsrGraph& fine,
+                                       const std::vector<part_t>& fine_where,
+                                       const std::vector<vid_t>& cmap,
+                                       vid_t vb, vid_t ve,
+                                       wgt_t* ed_partial) {
+  std::uint64_t work = 0;
+  wgt_t ed_sum = 0;
+  for (vid_t v = vb; v < ve; ++v) {
+    const vid_t c = cmap[static_cast<std::size_t>(v)];
+    if (coarse.boundary(c)) {
+      // Boundary parent: the fine vertex may touch foreign parts; full
+      // scan for this vertex only.
+      work += build_range(fine, fine_where, v, v + 1, &ed_sum);
+      continue;
+    }
+    // Interior parent: every coarse neighbour of c shares its part, and
+    // v's neighbours all map into that closed neighbourhood, so v is
+    // interior too.  Stream the weighted degree, skip the table.
+    const auto wts = fine.neighbor_weights(v);
+    work += wts.size() + 1;
+    wgt_t internal = 0;
+    for (const wgt_t w : wts) internal += w;
+    id_[static_cast<std::size_t>(v)] = internal;
+    ed_[static_cast<std::size_t>(v)] = 0;
+    cnt_[static_cast<std::size_t>(v)] = 0;
+  }
+  *ed_partial += ed_sum;
+  return work;
+}
+
+wgt_t GainCache::conn_to(vid_t v, part_t q) const {
+  const eid_t        base = off_[static_cast<std::size_t>(v)];
+  const std::int32_t cnt = cnt_[static_cast<std::size_t>(v)];
+  for (std::int32_t i = 0; i < cnt; ++i) {
+    if (part_[static_cast<std::size_t>(base + i)] == q) {
+      return wgt_[static_cast<std::size_t>(base + i)];
+    }
+  }
+  return 0;
+}
+
+void GainCache::conn_add(vid_t v, part_t q, wgt_t w) {
+  const eid_t  base = off_[static_cast<std::size_t>(v)];
+  std::int32_t cnt = cnt_[static_cast<std::size_t>(v)];
+  for (std::int32_t i = 0; i < cnt; ++i) {
+    if (part_[static_cast<std::size_t>(base + i)] == q) {
+      wgt_[static_cast<std::size_t>(base + i)] += w;
+      return;
+    }
+  }
+  part_[static_cast<std::size_t>(base + cnt)] = q;
+  wgt_[static_cast<std::size_t>(base + cnt)] = w;
+  cnt_[static_cast<std::size_t>(v)] = cnt + 1;
+}
+
+void GainCache::conn_sub(vid_t v, part_t q, wgt_t w) {
+  const eid_t        base = off_[static_cast<std::size_t>(v)];
+  const std::int32_t cnt = cnt_[static_cast<std::size_t>(v)];
+  for (std::int32_t i = 0; i < cnt; ++i) {
+    if (part_[static_cast<std::size_t>(base + i)] != q) continue;
+    wgt_[static_cast<std::size_t>(base + i)] -= w;
+    if (wgt_[static_cast<std::size_t>(base + i)] == 0) {
+      // Swap-erase; entry order carries no meaning (tie-breaks re-scan
+      // the adjacency list).
+      part_[static_cast<std::size_t>(base + i)] =
+          part_[static_cast<std::size_t>(base + cnt - 1)];
+      wgt_[static_cast<std::size_t>(base + i)] =
+          wgt_[static_cast<std::size_t>(base + cnt - 1)];
+      cnt_[static_cast<std::size_t>(v)] = cnt - 1;
+    }
+    return;
+  }
+}
+
+template <typename PartOf>
+std::uint64_t GainCache::apply_move_impl(const CsrGraph& g, vid_t v,
+                                         part_t from, part_t to,
+                                         PartOf&& part_of) {
+  const auto nbrs = g.neighbors(v);
+  const auto wts = g.neighbor_weights(v);
+  // Self update: connectivity to `to` becomes internal, the old internal
+  // weight becomes connectivity to `from`.
+  const wgt_t old_internal = id_[static_cast<std::size_t>(v)];
+  const wgt_t to_conn = conn_to(v, to);
+  conn_sub(v, to, to_conn);
+  if (old_internal > 0) conn_add(v, from, old_internal);
+  id_[static_cast<std::size_t>(v)] = to_conn;
+  ed_[static_cast<std::size_t>(v)] += old_internal - to_conn;
+  // Both endpoints of each affected arc change sides symmetrically.
+  ed_total_ += 2 * (old_internal - to_conn);
+
+  for (std::size_t j = 0; j < nbrs.size(); ++j) {
+    const vid_t  u = nbrs[j];
+    const wgt_t  w = wts[j];
+    const part_t pu = part_of(u);
+    if (pu == from) {
+      id_[static_cast<std::size_t>(u)] -= w;
+      ed_[static_cast<std::size_t>(u)] += w;
+      conn_add(u, to, w);
+    } else if (pu == to) {
+      conn_sub(u, from, w);
+      id_[static_cast<std::size_t>(u)] += w;
+      ed_[static_cast<std::size_t>(u)] -= w;
+    } else {
+      conn_sub(u, from, w);
+      conn_add(u, to, w);
+    }
+  }
+  return static_cast<std::uint64_t>(nbrs.size()) + 1;
+}
+
+std::uint64_t GainCache::apply_move(const CsrGraph& g,
+                                    const std::vector<part_t>& where, vid_t v,
+                                    part_t from, part_t to) {
+  return apply_move_impl(g, v, from, to, [&](vid_t u) {
+    return where[static_cast<std::size_t>(u)];
+  });
+}
+
+std::uint64_t GainCache::apply_moves(const CsrGraph& g,
+                                     const std::vector<part_t>& where_final,
+                                     const std::vector<CommittedMove>& moves) {
+  if (moves.empty()) return 0;
+  if (move_idx_.size() < where_final.size()) {
+    move_idx_.assign(where_final.size(), -1);
+  }
+  std::uint64_t work = moves.size();
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    move_idx_[static_cast<std::size_t>(moves[i].v)] =
+        static_cast<std::int32_t>(i);
+  }
+  // Replay in list order.  A neighbour that also moved this batch reads
+  // as its `from` part until its own replay step, `to` afterwards — the
+  // overlay a sequential commit would have seen.  Each step maps an exact
+  // cache of one where-configuration to the exact cache of the next, so
+  // the final state equals a fresh build against where_final regardless
+  // of the order the concurrent commit actually interleaved in.
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const auto& m = moves[i];
+    next = i + 1;
+    work += apply_move_impl(g, m.v, m.from, m.to, [&](vid_t u) {
+      const std::int32_t mi = move_idx_[static_cast<std::size_t>(u)];
+      if (mi < 0) return where_final[static_cast<std::size_t>(u)];
+      return static_cast<std::size_t>(mi) < next ? moves[mi].to
+                                                 : moves[mi].from;
+    });
+  }
+  for (const auto& m : moves) {
+    move_idx_[static_cast<std::size_t>(m.v)] = -1;
+  }
+  return work;
+}
+
+std::string GainCache::compare_to_rebuild(
+    const CsrGraph& g, const std::vector<part_t>& where) const {
+  GainCache fresh;
+  fresh.build(g, where, k_);
+  if (fresh.ed_total_ != ed_total_) {
+    return "ed-total mismatch: cached " + std::to_string(ed_total_) +
+           " recomputed " + std::to_string(fresh.ed_total_);
+  }
+  const vid_t n = g.num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    if (id_[sv] != fresh.id_[sv] || ed_[sv] != fresh.ed_[sv]) {
+      return "id/ed mismatch at v=" + std::to_string(v) + ": cached (" +
+             std::to_string(id_[sv]) + "," + std::to_string(ed_[sv]) +
+             ") recomputed (" + std::to_string(fresh.id_[sv]) + "," +
+             std::to_string(fresh.ed_[sv]) + ")";
+    }
+    if (cnt_[sv] != fresh.cnt_[sv]) {
+      return "conn-count mismatch at v=" + std::to_string(v) + ": cached " +
+             std::to_string(cnt_[sv]) + " recomputed " +
+             std::to_string(fresh.cnt_[sv]);
+    }
+    for (std::int32_t i = 0; i < cnt_[sv]; ++i) {
+      const part_t q = conn_part(v, i);
+      if (conn_wgt(v, i) != fresh.conn_to(v, q)) {
+        return "conn mismatch at v=" + std::to_string(v) + " part " +
+               std::to_string(q) + ": cached " +
+               std::to_string(conn_wgt(v, i)) + " recomputed " +
+               std::to_string(fresh.conn_to(v, q));
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace gp

@@ -1,0 +1,215 @@
+// Incremental connectivity / gain cache shared by every refiner
+// (DESIGN.md §3.6).
+//
+// Classic Metis keeps per-vertex `id/ed` (internal/external degree) plus a
+// sparse per-vertex partition-connectivity table so a refinement pass never
+// recomputes gains by scanning a vertex's whole neighbourhood (Karypis &
+// Kumar); mt-metis extends the same state with per-thread delta buffers
+// (LaSalle & Karypis).  This class is that state:
+//
+//   id_[v]            weight of v's arcs into its own part
+//   ed_[v]            weight of v's arcs into every other part
+//   part_/wgt_ slab   the distinct adjacent parts of v with their arc
+//                     weights, stored in a flat slab with per-vertex
+//                     capacity min(degree, k) at off_[v] (no per-vertex
+//                     heap allocation, no duplicates)
+//
+// The cache is built once per uncoarsening level (or *projected* from the
+// coarse level's cache, which skips the table work for every fine vertex
+// whose coarse parent was interior), and updated by O(deg) deltas when a
+// move commits.  Every query a refiner needs is O(#adjacent parts) instead
+// of O(degree) — except exact tie-breaking, see best_destination().
+//
+// Equivalence contract: all four refiners pick "the first part, in order
+// of first occurrence in the adjacency list, among those maximising
+// connectivity".  A sparse table cannot maintain first-occurrence order
+// under deltas, so best_destination() computes the max from the table and
+// falls back to one early-exiting adjacency scan only when several parts
+// tie — the scan stops at the first neighbour in any tied part, which by
+// definition appears early.  This keeps moves byte-identical to the
+// scan-based code while evaluating the common (tie-free) case from the
+// table alone.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace gp {
+
+/// One committed move, as recorded by a refiner's commit step for batch
+/// replay into the cache (mt-metis-style delta buffers).
+struct CommittedMove {
+  vid_t  v;
+  part_t from;
+  part_t to;
+};
+
+/// Result of a cached best-destination query.  `tie_scan` is the number of
+/// adjacency entries the tie-break fallback had to touch (0 in the common
+/// strict-max case) so callers can charge the true work.
+struct BestDest {
+  part_t        part = kInvalidPart;
+  wgt_t         conn = 0;
+  std::uint64_t tie_scan = 0;
+};
+
+class GainCache {
+ public:
+  /// Sizes the slab for `g` and `k` and zeroes the totals without filling
+  /// any entry; pair with build_range()/project_range() for parallel or
+  /// per-rank construction.
+  void init(const CsrGraph& g, part_t k);
+
+  /// Serial full build: init + one pass over all vertices.
+  void build(const CsrGraph& g, const std::vector<part_t>& where, part_t k);
+
+  /// Fills entries for vertices [vb, ve) from a full neighbourhood scan.
+  /// Adds the range's external-degree sum to *ed_partial (caller
+  /// accumulates into finish_totals) and returns the work units spent.
+  std::uint64_t build_range(const CsrGraph& g,
+                            const std::vector<part_t>& where, vid_t vb,
+                            vid_t ve, wgt_t* ed_partial);
+
+  /// Fills entries for fine vertices [vb, ve) given the coarse level's
+  /// cache.  A fine vertex whose coarse parent has ed == 0 is provably
+  /// interior (all its neighbours share its part), so only its internal
+  /// degree is streamed and the table stays empty; boundary parents get
+  /// the full scan.  Projection therefore costs O(boundary) table work
+  /// instead of O(n), and produces bit-identical state to build_range.
+  std::uint64_t project_range(const GainCache& coarse, const CsrGraph& fine,
+                              const std::vector<part_t>& fine_where,
+                              const std::vector<vid_t>& cmap, vid_t vb,
+                              vid_t ve, wgt_t* ed_partial);
+
+  /// Stores the accumulated external-degree total (cut = total / 2).
+  void finish_totals(wgt_t ed_total) { ed_total_ = ed_total; }
+
+  [[nodiscard]] bool  ready() const { return !cnt_.empty(); }
+  [[nodiscard]] vid_t num_vertices() const {
+    return static_cast<vid_t>(cnt_.size());
+  }
+  [[nodiscard]] part_t k() const { return k_; }
+
+  [[nodiscard]] wgt_t internal(vid_t v) const {
+    return id_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] wgt_t external(vid_t v) const {
+    return ed_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] bool boundary(vid_t v) const {
+    return ed_[static_cast<std::size_t>(v)] > 0;
+  }
+  /// Current edge cut implied by the tracked external degrees.
+  [[nodiscard]] wgt_t cut() const { return ed_total_ / 2; }
+
+  [[nodiscard]] std::int32_t conn_count(vid_t v) const {
+    return cnt_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] part_t conn_part(vid_t v, std::int32_t i) const {
+    return part_[static_cast<std::size_t>(off_[static_cast<std::size_t>(v)] +
+                                          i)];
+  }
+  [[nodiscard]] wgt_t conn_wgt(vid_t v, std::int32_t i) const {
+    return wgt_[static_cast<std::size_t>(off_[static_cast<std::size_t>(v)] +
+                                         i)];
+  }
+  /// Connectivity of v to part q (0 when absent).  O(#adjacent parts).
+  [[nodiscard]] wgt_t conn_to(vid_t v, part_t q) const;
+
+  /// Best admissible destination for v: the first part, in order of first
+  /// occurrence in v's adjacency list, among allowed parts maximising
+  /// connectivity, provided that maximum strictly exceeds `threshold`
+  /// (pass internal(v) for the strict-gain rule, or wgt_t minimum to rank
+  /// every allowed part).  `allowed(q)` filters candidates (balance fit,
+  /// direction).  Byte-identical to the historical full-scan selection.
+  template <typename Allowed>
+  [[nodiscard]] BestDest best_destination(const CsrGraph& g,
+                                          const std::vector<part_t>& where,
+                                          vid_t v, part_t pv, wgt_t threshold,
+                                          Allowed&& allowed) const {
+    const eid_t        base = off_[static_cast<std::size_t>(v)];
+    const std::int32_t cnt = cnt_[static_cast<std::size_t>(v)];
+    thread_local std::vector<part_t> tied;
+    tied.clear();
+    wgt_t best = threshold;
+    for (std::int32_t i = 0; i < cnt; ++i) {
+      const part_t q = part_[static_cast<std::size_t>(base + i)];
+      if (!allowed(q)) continue;
+      const wgt_t c = wgt_[static_cast<std::size_t>(base + i)];
+      if (c > best) {
+        best = c;
+        tied.clear();
+        tied.push_back(q);
+      } else if (c == best && !tied.empty()) {
+        tied.push_back(q);
+      }
+    }
+    if (tied.empty()) return {kInvalidPart, threshold, 0};
+    if (tied.size() == 1) return {tied.front(), best, 0};
+    // Tie: replicate the scan-order rule.  Every tied part has positive
+    // connectivity, so some neighbour carries it; the scan early-exits at
+    // the first one, which is the part the historical full scan would
+    // have registered (and therefore selected) first.
+    const auto  nbrs = g.neighbors(v);
+    std::uint64_t scanned = 0;
+    for (const vid_t u : nbrs) {
+      ++scanned;
+      const part_t pu = where[static_cast<std::size_t>(u)];
+      if (pu == pv) continue;
+      for (const part_t q : tied) {
+        if (q == pu) return {pu, best, scanned};
+      }
+    }
+    return {tied.front(), best, scanned};  // unreachable if cache is exact
+  }
+
+  /// O(deg) delta update for a committed move v: from -> to.  `where`
+  /// must hold every *neighbour's* current part; where[v] itself is not
+  /// read (callers may update it before or after).  Returns work units.
+  std::uint64_t apply_move(const CsrGraph& g, const std::vector<part_t>& where,
+                           vid_t v, part_t from, part_t to);
+
+  /// Replays a batch of moves recorded against `where_final` (the array
+  /// AFTER all of them were applied, as at the mt commit barrier).  The
+  /// replay reconstructs each neighbour's part mid-sequence from the move
+  /// list, so the result is exactly the cache of `where_final` no matter
+  /// how the concurrent commit interleaved.  Precondition: each vertex
+  /// appears at most once in `moves` (true of any single commit barrier —
+  /// a pass moves a vertex at most once); the overlay keeps one
+  /// from/to pair per vertex and cannot reconstruct mid-sequence state
+  /// for repeats.  Returns work units.
+  std::uint64_t apply_moves(const CsrGraph& g,
+                            const std::vector<part_t>& where_final,
+                            const std::vector<CommittedMove>& moves);
+
+  /// Full recompute comparison used by audit_gain_cache and tests:
+  /// returns an empty string when the cache exactly matches a fresh build
+  /// against `where`, else a description of the first mismatch.
+  [[nodiscard]] std::string compare_to_rebuild(
+      const CsrGraph& g, const std::vector<part_t>& where) const;
+
+ private:
+  template <typename PartOf>
+  std::uint64_t apply_move_impl(const CsrGraph& g, vid_t v, part_t from,
+                                part_t to, PartOf&& part_of);
+
+  void conn_add(vid_t v, part_t q, wgt_t w);
+  void conn_sub(vid_t v, part_t q, wgt_t w);
+
+  part_t              k_ = 0;
+  wgt_t               ed_total_ = 0;
+  std::vector<wgt_t>  id_;
+  std::vector<wgt_t>  ed_;
+  std::vector<eid_t>  off_;   ///< n+1 slab offsets, capacity min(deg, k)
+  std::vector<std::int32_t> cnt_;  ///< used slots per vertex
+  std::vector<part_t> part_;  ///< slab: part ids
+  std::vector<wgt_t>  wgt_;   ///< slab: connectivity weights
+  // Scratch for apply_moves (lazily sized, reset via the touched list).
+  std::vector<std::int32_t> move_idx_;
+};
+
+}  // namespace gp

@@ -111,6 +111,20 @@ int pool_bucket(std::size_t bytes) {
 
 }  // namespace
 
+void Device::pool_presize(std::size_t max_bytes, int copies) {
+  if (max_bytes == 0 || copies <= 0) return;
+  const int top = pool_bucket(max_bytes);
+  if (static_cast<std::size_t>(top) >= pool_free_.size()) {
+    pool_free_.resize(static_cast<std::size_t>(top) + 1);
+  }
+  for (int b = 8; b <= top; ++b) {
+    auto& list = pool_free_[static_cast<std::size_t>(b)];
+    while (list.size() < static_cast<std::size_t>(copies)) {
+      list.push_back(::operator new(std::size_t{1} << b));
+    }
+  }
+}
+
 void* Device::pool_acquire(std::size_t bytes) {
   const int b = pool_bucket(bytes);
   if (static_cast<std::size_t>(b) >= pool_free_.size()) {

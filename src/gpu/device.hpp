@@ -198,6 +198,31 @@ class Device {
     }
   }
 
+  /// Launch for perfectly coalesced streaming kernels (fills, sequential
+  /// sweeps): consecutive threads touch consecutive `elem_bytes`-sized
+  /// elements, so a warp's accesses collapse into 128-byte transactions.
+  /// Charged one work unit per transaction instead of one per element —
+  /// the model's unit is a latency-bound data-dependent access (an arc
+  /// touch), and a streamed sweep issues ~128/elem_bytes fewer of those.
+  template <typename Body>
+  void launch_streamed(const std::string& label, std::int64_t n_threads,
+                       std::size_t elem_bytes, Body&& body) {
+    begin_launch(label);
+    if (n_threads > 0) {
+      pool_.parallel_for_dynamic(
+          n_threads, launch_grain(n_threads),
+          [&](int, std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) body(i);
+          });
+    }
+    if (ledger_) {
+      const auto bytes = static_cast<std::uint64_t>(
+                             std::max<std::int64_t>(n_threads, 0)) *
+                         static_cast<std::uint64_t>(elem_bytes);
+      ledger_->charge_gpu_kernel("kernel/" + label, (bytes + 127) / 128, 1.0);
+    }
+  }
+
   [[nodiscard]] std::uint64_t kernels_launched() const { return kernels_; }
 
   // --- device-memory pool (used by DeviceBuffer's backing storage) ---
@@ -206,6 +231,14 @@ class Device {
   // gain buffers) is recycled across the V-cycle instead of re-allocated.
   // Blocks come back zero-filled, preserving cudaMalloc-the-simulated-way
   // (fresh std::vector) semantics exactly.
+
+  /// Pre-populates every free list up to the bucket serving `max_bytes`
+  /// with `copies` blocks each.  Drivers that know the level-0 working
+  /// set (the largest buffer any level will request) call this once after
+  /// device setup, so per-level allocations across the whole V-cycle hit
+  /// the pool on first touch instead of warming it up one miss at a time
+  /// — the cudaMallocAsync pool-reserve analogue.
+  void pool_presize(std::size_t max_bytes, int copies = 2);
 
   /// Returns a zero-initialized block of at least `bytes` bytes.
   void* pool_acquire(std::size_t bytes);

@@ -99,13 +99,15 @@ class DeviceBuffer {
   }
 
   /// Device-side fill — a real kernel launch: metered by the cost ledger
-  /// (cudaMemset / fill kernels are not free on hardware either) and
-  /// visible to the fault injector like any other kernel.
+  /// (cudaMemset / fill kernels are not free on hardware either, though
+  /// they run at streaming bandwidth — charged per 128-byte transaction)
+  /// and visible to the fault injector like any other kernel.
   void fill(const T& value) {
     if (!dev_) return;
     T* p = data_;
-    dev_->launch_uniform("fill/" + label_, static_cast<std::int64_t>(n_),
-                         [p, value](std::int64_t i) { p[i] = value; });
+    dev_->launch_streamed("fill/" + label_, static_cast<std::int64_t>(n_),
+                          sizeof(T),
+                          [p, value](std::int64_t i) { p[i] = value; });
   }
 
   /// Frees the device memory early (like cudaFree); the bytes go back to

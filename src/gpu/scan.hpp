@@ -39,7 +39,9 @@ T device_inclusive_scan(Device& dev, DeviceBuffer<T>& buf,
       a[i] = sum;
     }
     tot[b] = sum;
-    return static_cast<std::uint64_t>(hi - lo);
+    // Sequential read-modify-write sweep: coalesced, one work unit per
+    // 128-byte transaction (see Device::launch_streamed).
+    return (static_cast<std::uint64_t>(hi - lo) * sizeof(T) + 127) / 128;
   });
 
   dev.launch(label + "/total_scan", 1, [&](std::int64_t) {
@@ -57,7 +59,7 @@ T device_inclusive_scan(Device& dev, DeviceBuffer<T>& buf,
     const std::int64_t lo = b * block;
     const std::int64_t hi = std::min<std::int64_t>(lo + block, n);
     for (std::int64_t i = lo; i < hi; ++i) a[i] += off;
-    return static_cast<std::uint64_t>(hi - lo);
+    return (static_cast<std::uint64_t>(hi - lo) * sizeof(T) + 127) / 128;
   });
 
   return a[n - 1];
@@ -94,7 +96,9 @@ T device_exclusive_scan(Device& dev, DeviceBuffer<T>& buf,
       a[i] = sum;
     }
     tot[b] = sum;
-    return static_cast<std::uint64_t>(hi - lo);
+    // Sequential read-modify-write sweep: coalesced, one work unit per
+    // 128-byte transaction (see Device::launch_streamed).
+    return (static_cast<std::uint64_t>(hi - lo) * sizeof(T) + 127) / 128;
   });
 
   dev.launch(label + "/total_scan", 1, [&](std::int64_t) {
@@ -117,7 +121,7 @@ T device_exclusive_scan(Device& dev, DeviceBuffer<T>& buf,
     const std::int64_t hi = std::min<std::int64_t>(lo + block, n);
     for (std::int64_t i = hi - 1; i > lo; --i) a[i] = a[i - 1] + off;
     a[lo] = off;
-    return static_cast<std::uint64_t>(hi - lo);
+    return (static_cast<std::uint64_t>(hi - lo) * sizeof(T) + 127) / 128;
   });
 
   return total;

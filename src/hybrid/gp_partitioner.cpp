@@ -6,6 +6,7 @@
 
 #include "core/audit.hpp"
 #include "hybrid/gpu_contract.hpp"
+#include "hybrid/gpu_gain_cache.hpp"
 #include "hybrid/gpu_matching.hpp"
 #include "hybrid/gpu_refine.hpp"
 #include "mt/mt_partitioner.hpp"
@@ -84,6 +85,16 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   std::vector<GpuLevel> gpu_levels;
 
   // ---- 1. copy the graph to GPU global memory ----
+  // Seed the device pool from the level-0 footprint first: every buffer
+  // any level allocates (coarse graphs, cmaps, request buffers, the gain
+  // cache's slabs) is bounded by the level-0 arrays, so pre-sizing the
+  // buckets turns the V-cycle's first-touch allocations — including this
+  // upload's own — into pool hits.
+  dev.pool_presize(sizeof(eid_t) * (static_cast<std::size_t>(g.num_vertices()) + 1) +
+                       sizeof(vid_t) * static_cast<std::size_t>(g.num_arcs()) +
+                       sizeof(wgt_t) * static_cast<std::size_t>(g.num_arcs()) +
+                       sizeof(wgt_t) * static_cast<std::size_t>(g.num_vertices()),
+                   /*copies=*/2);
   GpuGraph g0 = GpuGraph::upload(dev, g, "G0");
   if (audit != AuditLevel::kOff) {
     // Transfer-integrity audit: the kernels index through the device copy
@@ -217,6 +228,24 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
     if (!record_audit(res, f)) throw AuditError(std::move(f));
   }
 
+  // Device-resident gain cache (DESIGN.md §3.6): built once on the
+  // handoff graph (whose labels just arrived from the CPU middle),
+  // projected — not rebuilt — down each uncoarsening level, and kept
+  // exact-or-dirty by the refine kernels' deltas in between.
+  GpuGainCache gcache;
+  bool gcache_valid = false;
+  // Partition weights ride along: projection preserves per-part weight
+  // sums exactly, so the k-entry table survives level transitions and the
+  // per-level recount kernel runs only once (inside the first refine).
+  DeviceBuffer<wgt_t> gpw;
+  if (!gpu_levels.empty() && !watchdog.expired()) {
+    const std::int64_t T0 = std::min<std::int64_t>(
+        opts.gpu_threads, std::max<std::int64_t>(256, cur->n));
+    gcache = GpuGainCache::build(dev, *cur, where_coarse, opts.k,
+                                 "uncoarsen/gaincache/handoff", T0);
+    gcache_valid = true;
+  }
+
   bool shed_noted = false;
   for (std::size_t i = gpu_levels.size(); i-- > 0;) {
     const vid_t fine_n = gpu_levels[i].fine_n;
@@ -237,10 +266,35 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
         res.health.degraded = true;
         shed_noted = true;
       }
+      gcache_valid = false;  // later levels shed too; stop maintaining it
     } else {
+      const std::string tag = "uncoarsen/gaincache/L" + std::to_string(i);
+      if (gcache_valid) {
+        GpuGainCache fine_cache = GpuGainCache::project(
+            dev, gcache, fine, where_fine, gpu_levels[i].cmap, tag, T);
+        gcache = std::move(fine_cache);
+      } else {
+        gcache = GpuGainCache::build(dev, fine, where_fine, opts.k, tag, T);
+        gcache_valid = true;
+      }
       auto rst = gpu_refine(dev, fine, where_fine, opts.k, opts.eps,
-                            opts.refine_passes, static_cast<int>(i), T);
+                            opts.refine_passes, static_cast<int>(i), T,
+                            &gcache, &gpw);
       if (log) log->refine_committed += rst.committed;
+      if (audit == AuditLevel::kParanoid) {
+        // Cache-vs-recompute cross-check: the refine kernels both read
+        // and delta-updated the device cache, so corruption there skews
+        // every later move — audit it at the same boundary as the labels.
+        AuditFailure f;
+        const std::string err = gcache.compare_to_host(
+            fine.download(), where_fine.d2h_vector());
+        if (!err.empty()) {
+          f.kind = AuditFailure::Kind::kGainCache;
+          f.invariant = "recompute";
+          f.detail = "gpu level " + std::to_string(i) + ": " + err;
+        }
+        if (!record_audit(res, f)) throw AuditError(std::move(f));
+      }
     }
     where_coarse = std::move(where_fine);
   }

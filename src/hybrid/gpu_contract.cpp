@@ -51,8 +51,9 @@ GpuGraph gpu_contract(Device& dev, const GpuGraph& fine,
   };
 
   // --- kernel: per-thread maximum entries (temp) ---
+  // Fresh pool buffers arrive zero-filled (the cudaMalloc-the-simulated-
+  // way contract), so no fill kernels are spent on temp/temp2/cdeg.
   DeviceBuffer<eid_t> temp(dev, static_cast<std::size_t>(T) + 1, "temp" + L);
-  temp.fill(0);
   eid_t* tp = temp.data();
   dev.launch("coarsen/contract/maxcount" + L, T,
              [&](std::int64_t t) -> std::uint64_t {
@@ -84,13 +85,11 @@ GpuGraph gpu_contract(Device& dev, const GpuGraph& fine,
                             "cvwgt" + L);
   DeviceBuffer<eid_t> temp2(dev, static_cast<std::size_t>(T) + 1,
                             "temp2" + L);
-  temp2.fill(0);
   vid_t* ta = tadjncy.data();
   wgt_t* tw = tadjwgt.data();
   eid_t* cd = cdeg.data();
   wgt_t* cw = cvwgt.data();
   eid_t* tp2 = temp2.data();
-  cdeg.fill(0);
 
   // --- merge kernel: contract each owned coarse vertex into the
   // temporary arrays; two strategies (paper Section III-A):

@@ -64,7 +64,6 @@ GpuMatchResult gpu_match(Device& dev, const GpuGraph& g, int level,
   // match(j) != i, vertex i re-matches to itself and gets another chance
   // at the next coarsening level.
   DeviceBuffer<std::uint64_t> conflict_ctr(dev, 1, "conflicts" + L);
-  conflict_ctr.fill(0);
   std::uint64_t* cc = conflict_ctr.data();
   dev.launch("coarsen/resolve" + L, T, [&](std::int64_t t) -> std::uint64_t {
     std::uint64_t work = 0, local = 0;
@@ -90,14 +89,15 @@ GpuMatchResult gpu_match(Device& dev, const GpuGraph& g, int level,
   r.cmap = DeviceBuffer<vid_t>(dev, static_cast<std::size_t>(n), "cmap" + L);
   vid_t* cm = r.cmap.data();
 
-  // Kernel 1: flag leaders.
+  // Kernel 1: flag leaders.  Streams match and cm with consecutive
+  // threads on consecutive vertices: transaction-granular charge.
   dev.launch("coarsen/cmap/init" + L, T, [&](std::int64_t t) -> std::uint64_t {
     std::uint64_t work = 0;
     for (vid_t v = static_cast<vid_t>(t); v < n; v += static_cast<vid_t>(T)) {
       cm[v] = (v <= match[v]) ? 1 : 0;
       ++work;
     }
-    return work;
+    return (work * sizeof(vid_t) + 127) / 128;
   });
 
   // Kernel 2: device-wide inclusive scan (the CUB call in the paper).
@@ -106,14 +106,14 @@ GpuMatchResult gpu_match(Device& dev, const GpuGraph& g, int level,
                                                "coarsen/cmap/scan" + L)
                        : 0;
 
-  // Kernel 3: subtract one from every entry.
+  // Kernel 3: subtract one from every entry (pure streaming sweep).
   dev.launch("coarsen/cmap/sub" + L, T, [&](std::int64_t t) -> std::uint64_t {
     std::uint64_t work = 0;
     for (vid_t v = static_cast<vid_t>(t); v < n; v += static_cast<vid_t>(T)) {
       cm[v] -= 1;
       ++work;
     }
-    return work;
+    return (work * sizeof(vid_t) + 127) / 128;
   });
 
   // Kernel 4: followers gather their leader's label.  Leaders' entries

@@ -42,7 +42,8 @@ struct GpuMoveRequest {
 
 GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
                           DeviceBuffer<part_t>& where, part_t k, double eps,
-                          int max_passes, int level, std::int64_t n_threads) {
+                          int max_passes, int level, std::int64_t n_threads,
+                          GpuGainCache* cache, DeviceBuffer<wgt_t>* pw_io) {
   GpuRefineStats stats;
   const vid_t n = g.n;
   const std::string L = "/L" + std::to_string(level);
@@ -55,20 +56,40 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
   const std::int64_t T =
       std::max<std::int64_t>(1, std::min<std::int64_t>(n_threads, n));
 
-  // Partition weights live on the device across passes.
-  DeviceBuffer<wgt_t> pw(dev, static_cast<std::size_t>(k), "pw" + L);
-  pw.fill(0);
+  // Gain cache: the propose kernel reads per-vertex connectivity from it
+  // instead of rescanning neighbourhoods; the explore kernel keeps it
+  // exact-or-dirty with atomic deltas.  The driver normally passes the
+  // cache it carries across levels; a null cache is built here.
+  GpuGainCache local_cache;
+  if (cache == nullptr) {
+    local_cache =
+        GpuGainCache::build(dev, g, where, k, "uncoarsen/gaincache" + L, T);
+    cache = &local_cache;
+  }
+  const GpuGainCacheView cv = cache->view();
+
+  // Partition weights live on the device across passes — and, when the
+  // driver passes `pw_io`, across levels: projection maps every fine
+  // vertex to its parent's part, so per-part weight sums are invariant at
+  // level transitions and the per-level recount kernel is redundant.
+  DeviceBuffer<wgt_t> pw_local;
+  DeviceBuffer<wgt_t>& pw = pw_io ? *pw_io : pw_local;
+  if (pw.size() != static_cast<std::size_t>(k)) {
+    // Fresh pool buffers are zero-filled; no fill kernel needed.
+    pw = DeviceBuffer<wgt_t>(dev, static_cast<std::size_t>(k), "pw" + L);
+    wgt_t* pwd0 = pw.data();
+    dev.launch("uncoarsen/refine/weights" + L, T,
+               [&](std::int64_t t) -> std::uint64_t {
+                 std::uint64_t work = 0;
+                 for (vid_t v = static_cast<vid_t>(t); v < n;
+                      v += static_cast<vid_t>(T)) {
+                   atomic_add(pwd0[wh[v]], vwgt[v]);
+                   ++work;
+                 }
+                 return work;
+               });
+  }
   wgt_t* pwd = pw.data();
-  dev.launch("uncoarsen/refine/weights" + L, T,
-             [&](std::int64_t t) -> std::uint64_t {
-               std::uint64_t work = 0;
-               for (vid_t v = static_cast<vid_t>(t); v < n;
-                    v += static_cast<vid_t>(T)) {
-                 atomic_add(pwd[wh[v]], vwgt[v]);
-                 ++work;
-               }
-               return work;
-             });
 
   wgt_t total = 0;
   {
@@ -88,28 +109,22 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
   DeviceBuffer<GpuMoveRequest> buffers(
       dev, static_cast<std::size_t>(cap) * static_cast<std::size_t>(k),
       "reqbuf" + L);
+  // All counter buffers arrive zero-filled from the pool; the explore
+  // kernel resets S[q] after draining buffer q (it owns it exclusively),
+  // so no per-pass fill launches are needed at all.  Commit counts are a
+  // per-partition array each explore thread overwrites, read back once
+  // per pass for the early-exit check.
   DeviceBuffer<int> counters(dev, static_cast<std::size_t>(k), "S" + L);
-  DeviceBuffer<int> committed_ctr(dev, 1, "committed" + L);
+  DeviceBuffer<int> committed_arr(dev, static_cast<std::size_t>(k),
+                                  "committed" + L);
   // dropped/proposed accumulate across passes on the device and are read
   // back once at the end.
   DeviceBuffer<int> dropped_ctr(dev, 1, "dropped" + L);
   DeviceBuffer<int> proposed_ctr(dev, 1, "proposed" + L);
-  dropped_ctr.fill(0);
-  proposed_ctr.fill(0);
   GpuMoveRequest* buf = buffers.data();
   int* S = counters.data();
+  int* com = committed_arr.data();
   int* pc = proposed_ctr.data();
-
-  // Active-vertex flags (boundary tracking).  A vertex with no external
-  // neighbour can never produce a request (its `parts` list stays empty),
-  // and `where` only changes in the explore kernel, which re-activates the
-  // moved vertex and its neighbourhood.  The flag set therefore always
-  // covers the true boundary, and skipping unflagged vertices yields the
-  // exact proposal stream of a full scan — passes after the first touch
-  // only the cut region instead of all n vertices.
-  DeviceBuffer<char> active(dev, static_cast<std::size_t>(n), "active" + L);
-  active.fill(1);
-  char* act = active.data();
 
   // Stretch the pass budget (up to 8x) while a part is still overweight;
   // the check costs one tiny D2H per extension round, as a real
@@ -126,62 +141,105 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
        ++pass) {
     ++stats.passes;
     const bool upward = (pass % 2 == 0);
-    counters.fill(0);
-    committed_ctr.fill(0);
-    int* cc = committed_ctr.data();
     int* dc = dropped_ctr.data();
 
-    // --- boundary kernel: find best destination per owned vertex and
-    // append a request to the destination partition's buffer ---
+    // --- boundary kernel: evaluate each owned vertex from its cache
+    // entry (rebuilding it first when a commit left it dirty) and append
+    // a request to the destination partition's buffer.  A vertex with
+    // ed == 0 is interior — it cannot produce a request, and the explore
+    // kernel's deltas raise its ed the moment a neighbour's move makes it
+    // boundary again, so skipping it yields the exact proposal stream of
+    // a full scan.  The skip itself is a warp-coalesced streaming read of
+    // the ed array (consecutive logical threads read consecutive words),
+    // so it is charged per 128-byte transaction — 16 vertices per work
+    // unit — not per vertex like the data-dependent adjacency gathers. ---
     dev.launch(
         "uncoarsen/refine/propose" + L + "/p" + std::to_string(pass), T,
         [&](std::int64_t t) -> std::uint64_t {
           std::uint64_t work = 0;
           // Per-executor scratch (a real kernel would keep this in
-          // registers/local memory).  `conn` is restored to all-zero after
-          // every vertex via `parts`, so across logical threads and
-          // launches it only needs growing, never re-zeroing.
+          // registers/local memory).  `conn` and `mark` are restored to
+          // all-zero after every vertex, so across logical threads and
+          // launches they only need growing, never re-zeroing.
           thread_local std::vector<wgt_t> conn;
+          thread_local std::vector<char> mark;
           thread_local std::vector<part_t> parts;
           if (conn.size() < static_cast<std::size_t>(k)) {
             conn.assign(static_cast<std::size_t>(k), 0);
           }
+          if (mark.size() < static_cast<std::size_t>(k)) {
+            mark.assign(static_cast<std::size_t>(k), 0);
+          }
+          std::uint64_t skipped = 0;
           for (vid_t v = static_cast<vid_t>(t); v < n;
                v += static_cast<vid_t>(T)) {
-            if (!act[v]) {
-              ++work;
+            const char dv = cv.dirty[v];
+            if (dv == kDirtyMoved || (dv == kDirtyLazy && cv.ed[v] != 0)) {
+              // Owner-exclusive: this logical thread is the only one
+              // touching v in this launch, and explore is not running.
+              // A lazy vertex with ed still 0 stays lazy — its skip below
+              // is exact without materialising id.
+              work += cv.rebuild_vertex(adjp, adjncy, adjwgt, wh, v, conn,
+                                        parts);
+            }
+            if (cv.ed[v] == 0) {
+              ++skipped;
               continue;
             }
             const part_t pv = racy_load(wh[v]);
-            const eid_t lo = adjp[v], hi = adjp[v + 1];
-            work += static_cast<std::uint64_t>(hi - lo) + 1;
+            // Gather the slots (summing the duplicates racing claims can
+            // leave) into the dense scratch.
+            const eid_t base = cv.off[v];
+            const std::int32_t used = cv.cnt[v];
             parts.clear();
-            wgt_t internal = 0;
-            for (eid_t j = lo; j < hi; ++j) {
-              const part_t pu = racy_load(wh[adjncy[j]]);
-              if (pu == pv) {
-                internal += adjwgt[j];
-                continue;
+            for (std::int32_t i = 0; i < used; ++i) {
+              const part_t qp1 = cv.slot_part[base + i];
+              if (qp1 <= 0) continue;  // free slot
+              const part_t q = static_cast<part_t>(qp1 - 1);
+              if (!mark[static_cast<std::size_t>(q)]) {
+                mark[static_cast<std::size_t>(q)] = 1;
+                parts.push_back(q);
               }
-              if (conn[static_cast<std::size_t>(pu)] == 0) parts.push_back(pu);
-              conn[static_cast<std::size_t>(pu)] += adjwgt[j];
+              conn[static_cast<std::size_t>(q)] += cv.slot_wgt[base + i];
             }
-            // Refresh the flag from this scan: only the owning logical
-            // thread writes it, so a plain store suffices here.
-            act[v] = parts.empty() ? 0 : 1;
+            work += static_cast<std::uint64_t>(used) + 1;
             const bool overweight = racy_load(pwd[pv]) > max_pw;
+            const wgt_t internal = cv.id[v];
             part_t best = kInvalidPart;
             wgt_t best_conn = overweight
                                   ? std::numeric_limits<wgt_t>::min()
                                   : internal;
+            int tied = 0;
             for (const part_t q : parts) {
+              const wgt_t cq = conn[static_cast<std::size_t>(q)];
+              if (cq <= 0) continue;
               if (upward ? (q <= pv) : (q >= pv)) continue;
-              if (conn[static_cast<std::size_t>(q)] > best_conn) {
-                best_conn = conn[static_cast<std::size_t>(q)];
+              if (cq > best_conn) {
+                best_conn = cq;
                 best = q;
+                tied = 1;
+              } else if (best != kInvalidPart && cq == best_conn) {
+                ++tied;
               }
             }
-            for (const part_t q : parts) conn[static_cast<std::size_t>(q)] = 0;
+            if (best != kInvalidPart && tied > 1) {
+              // Tie: replicate the historical scan-order rule — the full
+              // scan registered (and therefore selected) the tied part of
+              // the earliest foreign neighbour.  Early-exits there.
+              for (eid_t j = adjp[v]; j < adjp[v + 1]; ++j) {
+                ++work;
+                const part_t pu = racy_load(wh[adjncy[j]]);
+                if (pu == pv) continue;
+                if (conn[static_cast<std::size_t>(pu)] != best_conn) continue;
+                if (upward ? (pu <= pv) : (pu >= pv)) continue;
+                best = pu;
+                break;
+              }
+            }
+            for (const part_t q : parts) {
+              conn[static_cast<std::size_t>(q)] = 0;
+              mark[static_cast<std::size_t>(q)] = 0;
+            }
             if (best == kInvalidPart) continue;
             // Pre-check the destination bound (the explore kernel decides
             // finally, but hopeless requests waste buffer slots).
@@ -195,7 +253,7 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
             buf[static_cast<std::int64_t>(best) * cap + slot] = {
                 v, pv, best_conn - internal, vwgt[v]};
           }
-          return work;
+          return work + (skipped + 15) / 16;
         });
 
     // --- explore kernel: one logical thread per partition commits its
@@ -229,24 +287,34 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
             if (!ok) continue;
             atomic_add(pwd[q], rq.vw);
             racy_store(wh[rq.v], static_cast<part_t>(q));
-            // Re-activate the moved vertex and its neighbourhood so the
-            // next propose pass rescans exactly the changed region.
-            racy_store(act[rq.v], static_cast<char>(1));
+            // Cache maintenance: the moved vertex's own entry cannot be
+            // delta-updated race-free — flag it for rebuild; every
+            // neighbour gets an O(1) atomic delta (same O(deg) total the
+            // old re-activation sweep charged, but the next propose pass
+            // reads gains instead of rescanning).
+            racy_store(cv.dirty[rq.v], kDirtyMoved);
             const eid_t mlo = adjp[rq.v], mhi = adjp[rq.v + 1];
             work += static_cast<std::uint64_t>(mhi - mlo);
             for (eid_t j = mlo; j < mhi; ++j) {
-              racy_store(act[adjncy[j]], static_cast<char>(1));
+              const vid_t u = adjncy[j];
+              cv.neighbor_delta(u, racy_load(wh[u]), rq.from,
+                                static_cast<part_t>(q), adjwgt[j]);
             }
             ++nc;
           }
-          if (nc) atomic_add(*cc, static_cast<int>(nc));
+          // This thread owns buffer q and its counters: publish the pass's
+          // commit count and reset S for the next propose pass, so neither
+          // needs a separate fill launch.
+          com[q] = static_cast<int>(nc);
+          racy_store(S[q], 0);
           return work;
         });
 
-    // Early-exit check requires reading the commit counter back (one tiny
+    // Early-exit check requires reading the commit counts back (one tiny
     // D2H per pass, exactly what a CUDA implementation would do; the
     // other statistics counters are read once after the final pass).
-    const int committed = committed_ctr.d2h_vector()[0];
+    int committed = 0;
+    for (const int c : committed_arr.d2h_vector()) committed += c;
     stats.committed += static_cast<std::uint64_t>(committed);
     // Both alternating directions must go idle before stopping (an
     // overweight part may only have admissible moves one way).

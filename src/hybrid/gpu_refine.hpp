@@ -1,18 +1,23 @@
 // GPU uncoarsening kernels of GP-metis (paper Sections III-C):
 //
 //   projection kernel — coarse partition labels fan out through cmap
-//   refinement        — lock-free: a boundary kernel finds each vertex's
-//                       best destination under the one-direction ordering
-//                       rule and appends a request to the destination
-//                       partition's buffer via an atomically incremented
-//                       counter; an explore kernel (one thread per
-//                       partition) sorts requests by gain and commits the
-//                       moves that keep the balance constraint.
+//   refinement        — lock-free: a boundary kernel reads each vertex's
+//                       connectivity from the device-resident gain cache
+//                       (DESIGN.md §3.6), finds its best destination under
+//                       the one-direction ordering rule, and appends a
+//                       request to the destination partition's buffer via
+//                       an atomically incremented counter; an explore
+//                       kernel (one thread per partition) sorts requests
+//                       by gain, commits the moves that keep the balance
+//                       constraint, and pushes O(deg) cache deltas per
+//                       committed move instead of re-activating the
+//                       neighbourhood for a full rescan.
 #pragma once
 
 #include <cstdint>
 
 #include "core/partition.hpp"
+#include "hybrid/gpu_gain_cache.hpp"
 #include "hybrid/gpu_graph.hpp"
 
 namespace gp {
@@ -31,8 +36,19 @@ struct GpuRefineStats {
 };
 
 /// In-place lock-free buffered refinement of the device partition.
+/// `cache`, when non-null, must be exact-or-dirty against `where` on
+/// entry (see gpu_gain_cache.hpp); the explore kernel's deltas keep it
+/// that way so the driver can project it to the next level.  When null a
+/// cache is built here for the duration of the call.
+///
+/// `pw_io`, when non-null, carries the k partition weights across levels:
+/// if it already holds k entries they are trusted (projection preserves
+/// per-part weights exactly, and the explore kernel keeps them current),
+/// otherwise it is filled by the weights kernel here and handed back.
 GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
                           DeviceBuffer<part_t>& where, part_t k, double eps,
-                          int max_passes, int level, std::int64_t n_threads);
+                          int max_passes, int level, std::int64_t n_threads,
+                          GpuGainCache* cache = nullptr,
+                          DeviceBuffer<wgt_t>* pw_io = nullptr);
 
 }  // namespace gp

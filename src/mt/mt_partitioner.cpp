@@ -46,25 +46,62 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
     shed_noted = true;
     return true;
   };
+  // Gain cache carried across the V-cycle (DESIGN.md §3.6): built in
+  // parallel on the coarsest graph, kept exact by the refiner's delta
+  // replay, projected (not rebuilt) at each uncoarsening level.
+  GainCache gain_cache;
+  bool cache_valid = false;
+  auto ensure_cache = [&](const CsrGraph& graph, const Partition& part,
+                          int level) {
+    if (cache_valid) return;
+    gain_cache.init(graph, part.k);
+    const vid_t n = graph.num_vertices();
+    std::vector<std::uint64_t> bwork(
+        static_cast<std::size_t>(ctx.threads()), 0);
+    std::vector<wgt_t> bed(static_cast<std::size_t>(ctx.threads()), 0);
+    ctx.pool->parallel_for_blocked(
+        n, [&](int t, std::int64_t b, std::int64_t e) {
+          bwork[static_cast<std::size_t>(t)] = gain_cache.build_range(
+              graph, part.where, static_cast<vid_t>(b),
+              static_cast<vid_t>(e), &bed[static_cast<std::size_t>(t)]);
+        });
+    wgt_t ed_sum = 0;
+    for (const wgt_t x : bed) ed_sum += x;
+    gain_cache.finish_totals(ed_sum);
+    ctx.charge_pass("uncoarsen/gaincache-build/L" + std::to_string(level),
+                    bwork);
+    cache_valid = true;
+  };
+
   /// Refine with a pre-refine checkpoint: a failed partition audit rolls
   /// the level back to the checkpoint and retries once, then keeps the
   /// (already audited) checkpoint and drops the level's refinement.
   auto guarded_refine = [&](const CsrGraph& graph, Partition& part,
                             int level) {
-    if (watchdog_expired()) return;
+    if (watchdog_expired()) {
+      cache_valid = false;  // later levels shed too; stop maintaining it
+      return;
+    }
     if (audit == AuditLevel::kOff) {
+      ensure_cache(graph, part, level);
       mt_refine(graph, part, opts.eps, opts.refine_passes, ctx, level,
-                /*cut_stats=*/false);
+                /*cut_stats=*/false, &gain_cache);
       return;
     }
     const std::vector<part_t> checkpoint = part.where;
     for (int attempt = 0; attempt < 2; ++attempt) {
+      ensure_cache(graph, part, level);
       mt_refine(graph, part, opts.eps, opts.refine_passes, ctx, level,
-                /*cut_stats=*/false);
-      if (run_audit(audit_partition(graph, part, opts.k, /*eps=*/0.0,
-                                    /*expected_cut=*/-1, audit))) {
-        return;
+                /*cut_stats=*/false, &gain_cache);
+      bool ok = run_audit(audit_partition(graph, part, opts.k, /*eps=*/0.0,
+                                          /*expected_cut=*/-1, audit));
+      if (ok && audit == AuditLevel::kParanoid) {
+        // Cache-vs-recompute cross-check at the same boundary as the
+        // partition audit: the cache fed every gain this level.
+        ok = run_audit(
+            audit_gain_cache(graph, part.where, gain_cache, audit));
       }
+      if (ok) return;
       if (health) {
         ++health->rollbacks;
         health->degraded = true;
@@ -75,6 +112,7 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
                                " dropped, keeping checkpoint");
       }
       part.where = checkpoint;
+      cache_valid = false;  // rebuilt against the restored labels
     }
   };
 
@@ -171,6 +209,31 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
             static_cast<std::size_t>(ctx.threads()),
             static_cast<std::uint64_t>(fine.num_vertices()) /
                 static_cast<std::uint64_t>(std::max(1, ctx.threads()))));
+    // Project the gain cache alongside the labels (parallel): fine
+    // vertices with an interior coarse parent inherit id/ed with no
+    // table work.  The coarse cache is read-only here, the fine cache's
+    // vertex ranges are disjoint per thread.
+    if (cache_valid && !watchdog_expired()) {
+      GainCache fine_cache;
+      fine_cache.init(fine, opts.k);
+      std::vector<std::uint64_t> pwork(
+          static_cast<std::size_t>(ctx.threads()), 0);
+      std::vector<wgt_t> ped(static_cast<std::size_t>(ctx.threads()), 0);
+      ctx.pool->parallel_for_blocked(
+          fine.num_vertices(), [&](int t, std::int64_t b, std::int64_t e) {
+            pwork[static_cast<std::size_t>(t)] = fine_cache.project_range(
+                gain_cache, fine, fine_where, cmap, static_cast<vid_t>(b),
+                static_cast<vid_t>(e), &ped[static_cast<std::size_t>(t)]);
+          });
+      wgt_t ed_sum = 0;
+      for (const wgt_t x : ped) ed_sum += x;
+      fine_cache.finish_totals(ed_sum);
+      gain_cache = std::move(fine_cache);
+      ctx.charge_pass(
+          "uncoarsen/gaincache/L" + std::to_string(level_offset + i), pwork);
+    } else {
+      cache_valid = false;
+    }
     p.where = std::move(fine_where);
     if (audit != AuditLevel::kOff) {
       AuditFailure f = audit_partition(fine, p, opts.k, /*eps=*/0.0,

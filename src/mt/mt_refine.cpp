@@ -21,14 +21,40 @@ struct MoveRequest {
 
 MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
                         int max_passes, const MtContext& ctx, int level,
-                        bool cut_stats) {
+                        bool cut_stats, GainCache* cache) {
   MtRefineStats stats;
-  if (cut_stats) stats.cut_before = edge_cut(g, p);
   const vid_t n = g.num_vertices();
   const int nt = ctx.threads();
   const wgt_t total = g.total_vertex_weight();
   const wgt_t max_pw = max_part_weight(total, p.k, eps);
   const wgt_t min_pw = min_part_weight(total, p.k, eps);
+
+  // Gain cache (DESIGN.md §3.6): propose reads conn/gain from the sparse
+  // table instead of rescanning neighbourhoods, and each pass ends with a
+  // delta replay of the committed moves.  Callers that carry a cache
+  // across levels pass it in (it must match p.where); otherwise one is
+  // built here with a parallel sweep.
+  GainCache local_cache;
+  GainCache* gc = cache;
+  if (gc == nullptr) {
+    gc = &local_cache;
+    gc->init(g, p.k);
+    std::vector<std::uint64_t> bwork(static_cast<std::size_t>(nt), 0);
+    std::vector<wgt_t> bed(static_cast<std::size_t>(nt), 0);
+    ctx.pool->parallel_for_blocked(
+        n, [&](int t, std::int64_t b, std::int64_t e) {
+          bwork[static_cast<std::size_t>(t)] = gc->build_range(
+              g, p.where, static_cast<vid_t>(b), static_cast<vid_t>(e),
+              &bed[static_cast<std::size_t>(t)]);
+        });
+    wgt_t ed_sum = 0;
+    for (const wgt_t x : bed) ed_sum += x;
+    gc->finish_totals(ed_sum);
+    ctx.charge_pass("uncoarsen/refine/gaincache-build/L" +
+                        std::to_string(level),
+                    bwork);
+  }
+  if (cut_stats) stats.cut_before = gc->cut();
 
   auto pw = partition_weights(g, p);
   part_t* where = p.where.data();
@@ -40,13 +66,11 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
       static_cast<std::size_t>(p.k));
   std::vector<std::mutex> buf_mutex(static_cast<std::size_t>(p.k));
 
-  // Active-vertex flags (boundary tracking).  Vertices without an external
-  // neighbour can never produce a request, and `where` only changes in the
-  // explore kernel, which re-activates the moved vertex's neighbourhood —
-  // so skipping unflagged vertices yields the exact proposal stream of a
-  // full scan while passes after the first touch only the cut region.
-  std::vector<char> active(static_cast<std::size_t>(n), 1);
-  char* act = active.data();
+  // Per-thread delta buffers (mt-metis): each explore thread records the
+  // moves it committed; the replay at the pass barrier folds them into the
+  // gain cache so the next propose pass reads exact state.
+  std::vector<std::vector<CommittedMove>> deltas(
+      static_cast<std::size_t>(nt));
 
   // The pass budget stretches (up to 8x) while the balance constraint is
   // still violated — the paper's "balance ... is guaranteed by continuing
@@ -69,60 +93,42 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
     const bool upward = (pass % 2 == 0);
 
     for (auto& buf : buffers) buf.clear();
+    for (auto& d : deltas) d.clear();
 
-    // --- propose kernel: threads scan owned vertices ---
+    // --- propose kernel: threads scan their owned boundary vertices,
+    // reading gains from the cache (the cache is exact here: the last
+    // pass's deltas were replayed at the barrier) ---
     std::vector<std::uint64_t> work(static_cast<std::size_t>(nt), 0);
     std::vector<std::uint64_t> proposed(static_cast<std::size_t>(nt), 0);
     ctx.pool->parallel_for_blocked(
         n, [&](int t, std::int64_t b, std::int64_t e) {
           std::uint64_t w = 0, np = 0;
-          std::vector<wgt_t> conn(static_cast<std::size_t>(p.k), 0);
-          std::vector<part_t> parts;
           for (std::int64_t i = b; i < e; ++i) {
             const auto v = static_cast<vid_t>(i);
-            if (!act[v]) {
+            if (!gc->boundary(v)) {
               w += 1;
               continue;
             }
             const part_t pv = where[v];
-            const auto nbrs = g.neighbors(v);
-            const auto wts = g.neighbor_weights(v);
-            w += nbrs.size() + 1;
-            parts.clear();
-            wgt_t internal = 0;
-            for (std::size_t j = 0; j < nbrs.size(); ++j) {
-              const part_t pu = racy_load(where[nbrs[j]]);
-              if (pu == pv) {
-                internal += wts[j];
-                continue;
-              }
-              if (conn[static_cast<std::size_t>(pu)] == 0) parts.push_back(pu);
-              conn[static_cast<std::size_t>(pu)] += wts[j];
-            }
-            // Refresh from this scan; only the owning thread writes here.
-            act[v] = parts.empty() ? 0 : 1;
             // Overweight sources may evict at any gain (the balancing
             // companion of the gain rule); balanced sources move only on
             // strictly positive gain.
             const bool overweight = racy_load(pwd[pv]) > max_pw;
-            part_t best = kInvalidPart;
-            wgt_t best_conn = overweight
-                                  ? std::numeric_limits<wgt_t>::min()
-                                  : internal;
-            for (const part_t q : parts) {
-              if (upward ? (q <= pv) : (q >= pv)) continue;
-              if (conn[static_cast<std::size_t>(q)] > best_conn) {
-                best_conn = conn[static_cast<std::size_t>(q)];
-                best = q;
-              }
-            }
-            for (const part_t q : parts) conn[static_cast<std::size_t>(q)] = 0;
-            if (best == kInvalidPart) continue;
+            const wgt_t threshold = overweight
+                                        ? std::numeric_limits<wgt_t>::min()
+                                        : gc->internal(v);
+            const BestDest bd = gc->best_destination(
+                g, p.where, v, pv, threshold, [&](part_t q) {
+                  return upward ? (q > pv) : (q < pv);
+                });
+            w += static_cast<std::uint64_t>(gc->conn_count(v)) + 1 +
+                 bd.tie_scan;
+            if (bd.part == kInvalidPart) continue;
             ++np;
             std::lock_guard<std::mutex> lk(
-                buf_mutex[static_cast<std::size_t>(best)]);
-            buffers[static_cast<std::size_t>(best)].push_back(
-                {v, pv, best, best_conn - internal});
+                buf_mutex[static_cast<std::size_t>(bd.part)]);
+            buffers[static_cast<std::size_t>(bd.part)].push_back(
+                {v, pv, bd.part, bd.conn - gc->internal(v)});
           }
           work[static_cast<std::size_t>(t)] = w;
           proposed[static_cast<std::size_t>(t)] = np;
@@ -139,6 +145,7 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
     ctx.pool->parallel_for_blocked(
         p.k, [&](int t, std::int64_t b, std::int64_t e) {
           std::uint64_t w = 0, nc = 0, nr = 0;
+          auto& delta = deltas[static_cast<std::size_t>(t)];
           for (std::int64_t q = b; q < e; ++q) {
             auto& buf = buffers[static_cast<std::size_t>(q)];
             // Sort relocation requests by gain (descending).
@@ -173,14 +180,9 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
               }
               atomic_add(pwd[q], vw);
               racy_store(where[req.v], static_cast<part_t>(q));
-              // Re-activate the moved vertex and its neighbourhood so the
-              // next propose pass rescans exactly the changed region.
-              racy_store(act[req.v], static_cast<char>(1));
-              const auto mn = g.neighbors(req.v);
-              w += mn.size();
-              for (const vid_t u : mn) {
-                racy_store(act[u], static_cast<char>(1));
-              }
+              // Record into this thread's delta buffer; replayed into the
+              // cache at the pass barrier below.
+              delta.push_back({req.v, req.from, static_cast<part_t>(q)});
               ++nc;
             }
           }
@@ -194,6 +196,24 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
         commit_work);
     stats.committed += committed.load();
     stats.rejected_balance += rejected.load();
+
+    // --- delta replay at the barrier ---
+    // Any fixed replay order yields the exact cache of the final labels
+    // (each step transforms the exact cache of one configuration into the
+    // exact cache of the next), so concatenating the per-thread buffers
+    // in thread order is sufficient.
+    if (committed.load() != 0) {
+      std::vector<CommittedMove> all_moves;
+      all_moves.reserve(static_cast<std::size_t>(committed.load()));
+      for (const auto& d : deltas) {
+        all_moves.insert(all_moves.end(), d.begin(), d.end());
+      }
+      const std::uint64_t dw = gc->apply_moves(g, p.where, all_moves);
+      ctx.charge_serial("uncoarsen/refine/delta/L" + std::to_string(level) +
+                            "/p" + std::to_string(pass),
+                        dw);
+    }
+
     // Terminate on idleness — but only after BOTH directions have gone
     // idle back to back: an overweight part may have admissible evictions
     // in only one of the two alternating directions.
@@ -247,6 +267,9 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
       }
       if (best_v == kInvalidVid) continue;  // nothing admissible from q
       const wgt_t vw = g.vertex_weight(best_v);
+      // Keep the cache exact through the forced move (the destination may
+      // be non-adjacent; apply_move handles zero connectivity).
+      cleanup_work += gc->apply_move(g, p.where, best_v, q, best_to);
       where[best_v] = best_to;
       pwd[static_cast<std::size_t>(q)] -= vw;
       pwd[static_cast<std::size_t>(best_to)] += vw;
@@ -259,7 +282,7 @@ MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
                       cleanup_work);
   }
 
-  if (cut_stats) stats.cut_after = edge_cut(g, p);
+  if (cut_stats) stats.cut_after = gc->cut();
   return stats;
 }
 

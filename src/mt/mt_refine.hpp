@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "core/csr_graph.hpp"
+#include "core/gain_cache.hpp"
 #include "core/partition.hpp"
 #include "mt/mt_context.hpp"
 
@@ -22,11 +23,14 @@ struct MtRefineStats {
 };
 
 /// In-place buffered refinement.  `level` only labels ledger entries.
-/// `cut_stats` controls whether cut_before/cut_after are filled in — each
-/// is a full O(E) scan, and the driving partitioner does not read them,
-/// so it passes false; tests and ablation benches keep the default.
+/// `cut_stats` controls whether cut_before/cut_after are filled in (free
+/// with the gain cache, kept as a switch for signature stability).
+/// `cache`, when non-null, must be consistent with p.where on entry; the
+/// per-pass delta replay and the balance cleanup keep it consistent so
+/// the driving partitioner can carry it across uncoarsening levels.
+/// When null, a cache is built here with a parallel sweep.
 MtRefineStats mt_refine(const CsrGraph& g, Partition& p, double eps,
                         int max_passes, const MtContext& ctx, int level,
-                        bool cut_stats = true);
+                        bool cut_stats = true, GainCache* cache = nullptr);
 
 }  // namespace gp

@@ -691,6 +691,13 @@ void parmetis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   const wgt_t max_pw = max_part_weight(total, opts.k, opts.eps);
   const wgt_t min_pw = min_part_weight(total, opts.k, opts.eps);
 
+  // Gain cache (DESIGN.md §3.6), shared with the other refiners' design:
+  // built per-rank on the coarsest graph, consumed by the propose
+  // superstep for boundary selection, delta-updated during the replayed
+  // commit, and projected per-rank at each level transition.
+  GainCache gain_cache;
+  bool cache_valid = false;
+
   for (std::size_t i = levels.size() + 1; i-- > 0;) {
     // Level i refines the graph whose coarse version is levels[i]; the
     // extra first iteration (i == levels.size()) refines the coarsest.
@@ -730,7 +737,42 @@ void parmetis_attempt(const CsrGraph& g, const PartitionOptions& opts,
 
     // Refinement passes (direction-alternating, pass-committed), shed
     // wholesale once the deadline watchdog expires.
-    if (watchdog_expired()) continue;
+    if (watchdog_expired()) {
+      cache_valid = false;  // all later levels shed too
+      continue;
+    }
+
+    // Build (coarsest level) or project (every other level) the gain
+    // cache, each rank filling its owned vertex range.
+    {
+      std::vector<wgt_t> ed_parts(static_cast<std::size_t>(P), 0);
+      if (!cache_valid) {
+        gain_cache.init(fine, opts.k);
+        comm.superstep("uncoarsen/gaincache-build" + L,
+                       [&](int r, Mailbox&) -> std::uint64_t {
+                         return gain_cache.build_range(
+                             fine, p.where, fdist.begin(r), fdist.end(r),
+                             &ed_parts[static_cast<std::size_t>(r)]);
+                       });
+        cache_valid = true;
+      } else {
+        const auto& cmap = levels[i].cmap;
+        GainCache fine_cache;
+        fine_cache.init(fine, opts.k);
+        comm.superstep("uncoarsen/gaincache-project" + L,
+                       [&](int r, Mailbox&) -> std::uint64_t {
+                         return fine_cache.project_range(
+                             gain_cache, fine, p.where, cmap,
+                             fdist.begin(r), fdist.end(r),
+                             &ed_parts[static_cast<std::size_t>(r)]);
+                       });
+        gain_cache = std::move(fine_cache);
+      }
+      wgt_t ed_sum = 0;
+      for (const wgt_t x : ed_parts) ed_sum += x;
+      gain_cache.finish_totals(ed_sum);
+    }
+
     auto pw = partition_weights(fine, p);
     int idle_passes = 0;
     for (int pass = 0; pass < opts.refine_passes; ++pass) {
@@ -744,42 +786,26 @@ void parmetis_attempt(const CsrGraph& g, const PartitionOptions& opts,
           "uncoarsen/refine/propose" + L + "/p" + std::to_string(pass),
           [&](int r, Mailbox&) -> std::uint64_t {
             std::uint64_t work = 0;
-            std::vector<wgt_t> conn(static_cast<std::size_t>(opts.k), 0);
-            std::vector<part_t> parts;
             auto& out = proposals[static_cast<std::size_t>(r)];
             for (vid_t v = fdist.begin(r); v < fdist.end(r); ++v) {
-              const auto nbrs = fine.neighbors(v);
-              const auto wts = fine.neighbor_weights(v);
-              work += nbrs.size() + 1;
+              if (!gain_cache.boundary(v)) {
+                ++work;
+                continue;
+              }
               const part_t pv = p.where[static_cast<std::size_t>(v)];
-              parts.clear();
-              wgt_t internal = 0;
-              for (std::size_t j = 0; j < nbrs.size(); ++j) {
-                const part_t pu =
-                    p.where[static_cast<std::size_t>(nbrs[j])];
-                if (pu == pv) {
-                  internal += wts[j];
-                  continue;
-                }
-                if (conn[static_cast<std::size_t>(pu)] == 0)
-                  parts.push_back(pu);
-                conn[static_cast<std::size_t>(pu)] += wts[j];
-              }
               const bool over = pw[static_cast<std::size_t>(pv)] > max_pw;
-              part_t bestq = kInvalidPart;
-              wgt_t best_conn =
-                  over ? std::numeric_limits<wgt_t>::min() : internal;
-              for (const part_t q : parts) {
-                if (upward ? (q <= pv) : (q >= pv)) continue;
-                if (conn[static_cast<std::size_t>(q)] > best_conn) {
-                  best_conn = conn[static_cast<std::size_t>(q)];
-                  bestq = q;
-                }
-              }
-              for (const part_t q : parts)
-                conn[static_cast<std::size_t>(q)] = 0;
-              if (bestq == kInvalidPart) continue;
-              out.push_back({v, pv, bestq, best_conn - internal});
+              const wgt_t threshold =
+                  over ? std::numeric_limits<wgt_t>::min()
+                       : gain_cache.internal(v);
+              const BestDest bd = gain_cache.best_destination(
+                  fine, p.where, v, pv, threshold, [&](part_t q) {
+                    return upward ? (q > pv) : (q < pv);
+                  });
+              work += static_cast<std::uint64_t>(gain_cache.conn_count(v)) +
+                      1 + bd.tie_scan;
+              if (bd.part == kInvalidPart) continue;
+              out.push_back(
+                  {v, pv, bd.part, bd.conn - gain_cache.internal(v)});
             }
             return work;
           });
@@ -813,6 +839,11 @@ void parmetis_attempt(const CsrGraph& g, const PartitionOptions& opts,
               }
               pw[static_cast<std::size_t>(mv.from)] -= vw;
               pw[static_cast<std::size_t>(mv.to)] += vw;
+              // Delta-update the cache before the label flips (apply_move
+              // reads the neighbours' labels, not where[v]); the replay
+              // is sequential, so the cache stays exact move by move.
+              work += gain_cache.apply_move(fine, p.where, mv.v, mv.from,
+                                            mv.to);
               p.where[static_cast<std::size_t>(mv.v)] = mv.to;
               ++committed;
             }
@@ -821,6 +852,12 @@ void parmetis_attempt(const CsrGraph& g, const PartitionOptions& opts,
       // Both alternating directions must go idle before stopping.
       idle_passes = (committed == 0) ? idle_passes + 1 : 0;
       if (idle_passes >= 2) break;
+    }
+    if (audit == AuditLevel::kParanoid && cache_valid) {
+      // Cache-vs-recompute cross-check: every boundary selection this
+      // level came from the cache, so audit it like partition state.
+      AuditFailure f = audit_gain_cache(fine, p.where, gain_cache, audit);
+      if (!run_audit(f)) throw AuditError(std::move(f));
     }
   }
 

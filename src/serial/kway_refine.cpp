@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 
 namespace gp {
 
@@ -31,141 +30,179 @@ wgt_t vertex_connectivity(const CsrGraph& g, const std::vector<part_t>& where,
   return internal;
 }
 
+namespace {
+
+/// Resolves the caller-supplied cache/workspace: when no ready cache is
+/// handed in, the workspace's fallback cache is built against the current
+/// assignment (charged to *work).
+GainCache* resolve_cache(const CsrGraph& g, const Partition& p,
+                         GainCache* cache, KwayWorkspace* ws,
+                         std::uint64_t* work) {
+  if (cache != nullptr) return cache;
+  GainCache* gc = &ws->cache;
+  gc->build(g, p.where, p.k);
+  *work += static_cast<std::uint64_t>(g.num_arcs()) +
+           static_cast<std::uint64_t>(g.num_vertices());
+  return gc;
+}
+
+void fill_part_weights(const CsrGraph& g, const Partition& p,
+                       std::vector<wgt_t>& pw) {
+  pw.assign(static_cast<std::size_t>(p.k), 0);
+  const vid_t n = g.num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    pw[static_cast<std::size_t>(p.where[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight(v);
+  }
+}
+
+}  // namespace
+
 KwayRefineStats kway_refine_serial(const CsrGraph& g, Partition& p,
-                                   double eps, int max_passes) {
+                                   double eps, int max_passes,
+                                   GainCache* cache, KwayWorkspace* ws) {
   KwayRefineStats stats;
-  stats.cut_before = edge_cut(g, p);
+  KwayWorkspace local_ws;
+  if (ws == nullptr) ws = &local_ws;
+  GainCache* gc = resolve_cache(g, p, cache, ws, &stats.work_units);
+  stats.cut_before = gc->cut();
   const vid_t n = g.num_vertices();
   const wgt_t total = g.total_vertex_weight();
   const wgt_t max_pw = max_part_weight(total, p.k, eps);
   const wgt_t min_pw = min_part_weight(total, p.k, eps);
 
-  auto pw = partition_weights(g, p);
-  std::vector<wgt_t> conn(static_cast<std::size_t>(p.k), 0);
-  std::vector<part_t> parts;
-  parts.reserve(16);
+  fill_part_weights(g, p, ws->pw);
+  stats.work_units += static_cast<std::uint64_t>(n);
+  wgt_t* pw = ws->pw.data();
 
   for (int pass = 0; pass < max_passes; ++pass) {
     ++stats.passes;
     vid_t moves_this_pass = 0;
     for (vid_t v = 0; v < n; ++v) {
-      stats.work_units += static_cast<std::uint64_t>(g.degree(v)) + 1;
-      const part_t pv = p.where[static_cast<std::size_t>(v)];
-      const wgt_t internal = vertex_connectivity(g, p.where, v, conn, parts);
-      if (parts.empty()) continue;  // not a boundary vertex
-
-      // Pick the best destination among adjacent parts.
-      part_t best = kInvalidPart;
-      wgt_t best_conn = internal;  // require gain > 0 (strict) or tie-break
-      const wgt_t vw = g.vertex_weight(v);
-      for (const part_t q : parts) {
-        const wgt_t cq = conn[static_cast<std::size_t>(q)];
-        const bool fits = pw[static_cast<std::size_t>(q)] + vw <= max_pw &&
-                          pw[static_cast<std::size_t>(pv)] - vw >= min_pw;
-        if (!fits) continue;
-        if (cq > best_conn) {  // strict gain only; ties keep the vertex put
-          best_conn = cq;
-          best = q;
-        }
+      if (!gc->boundary(v)) {
+        ++stats.work_units;
+        continue;
       }
-      // Reset scratch for the next vertex.
-      for (const part_t q : parts) conn[static_cast<std::size_t>(q)] = 0;
-
-      if (best == kInvalidPart) continue;
+      const part_t pv = p.where[static_cast<std::size_t>(v)];
+      const wgt_t vw = g.vertex_weight(v);
+      const bool src_ok = pw[static_cast<std::size_t>(pv)] - vw >= min_pw;
+      // Strict gain only (threshold = internal); ties keep the vertex put.
+      const BestDest bd = gc->best_destination(
+          g, p.where, v, pv, gc->internal(v), [&](part_t q) {
+            return src_ok && pw[static_cast<std::size_t>(q)] + vw <= max_pw;
+          });
+      stats.work_units +=
+          static_cast<std::uint64_t>(gc->conn_count(v)) + 1 + bd.tie_scan;
+      if (bd.part == kInvalidPart) continue;
       pw[static_cast<std::size_t>(pv)] -= vw;
-      pw[static_cast<std::size_t>(best)] += vw;
-      p.where[static_cast<std::size_t>(v)] = best;
+      pw[static_cast<std::size_t>(bd.part)] += vw;
+      stats.work_units += gc->apply_move(g, p.where, v, pv, bd.part);
+      p.where[static_cast<std::size_t>(v)] = bd.part;
       ++moves_this_pass;
     }
     stats.moves += moves_this_pass;
     if (moves_this_pass == 0) break;
   }
-  stats.cut_after = edge_cut(g, p);
-  stats.work_units +=
-      2 * static_cast<std::uint64_t>(g.num_arcs());  // the two cut scans
+  stats.cut_after = gc->cut();
   return stats;
 }
 
 KwayRefineStats kway_refine_pq(const CsrGraph& g, Partition& p, double eps,
-                               int max_passes) {
+                               int max_passes, GainCache* cache,
+                               KwayWorkspace* ws) {
   KwayRefineStats stats;
-  stats.cut_before = edge_cut(g, p);
+  KwayWorkspace local_ws;
+  if (ws == nullptr) ws = &local_ws;
+  GainCache* gc = resolve_cache(g, p, cache, ws, &stats.work_units);
+  stats.cut_before = gc->cut();
   const vid_t n = g.num_vertices();
   const wgt_t total = g.total_vertex_weight();
   const wgt_t max_pw = max_part_weight(total, p.k, eps);
   const wgt_t min_pw = min_part_weight(total, p.k, eps);
 
-  auto pw = partition_weights(g, p);
-  std::vector<wgt_t> conn(static_cast<std::size_t>(p.k), 0);
-  std::vector<part_t> parts;
-  parts.reserve(16);
+  fill_part_weights(g, p, ws->pw);
+  stats.work_units += static_cast<std::uint64_t>(n);
+  wgt_t* pw = ws->pw.data();
 
   // Best admissible move of v given the current state; gain may be
   // non-positive (callers filter).
   auto best_move = [&](vid_t v) -> std::pair<part_t, wgt_t> {
     const part_t pv = p.where[static_cast<std::size_t>(v)];
-    const wgt_t internal = vertex_connectivity(g, p.where, v, conn, parts);
     const wgt_t vw = g.vertex_weight(v);
-    part_t best = kInvalidPart;
-    wgt_t best_gain = std::numeric_limits<wgt_t>::min();
-    for (const part_t q : parts) {
-      const bool fits = pw[static_cast<std::size_t>(q)] + vw <= max_pw &&
-                        pw[static_cast<std::size_t>(pv)] - vw >= min_pw;
-      if (!fits) continue;
-      const wgt_t gain = conn[static_cast<std::size_t>(q)] - internal;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = q;
-      }
+    const bool src_ok = pw[static_cast<std::size_t>(pv)] - vw >= min_pw;
+    const BestDest bd = gc->best_destination(
+        g, p.where, v, pv, std::numeric_limits<wgt_t>::min(), [&](part_t q) {
+          return src_ok && pw[static_cast<std::size_t>(q)] + vw <= max_pw;
+        });
+    stats.work_units +=
+        static_cast<std::uint64_t>(gc->conn_count(v)) + 1 + bd.tie_scan;
+    if (bd.part == kInvalidPart) {
+      return {kInvalidPart, std::numeric_limits<wgt_t>::min()};
     }
-    for (const part_t q : parts) conn[static_cast<std::size_t>(q)] = 0;
-    return {best, best_gain};
+    return {bd.part, bd.conn - gc->internal(v)};
   };
 
-  std::vector<char> moved(static_cast<std::size_t>(n));
+  auto& moved = ws->moved;
+  moved.assign(static_cast<std::size_t>(n), 0);
+  // (gain, vertex) max-heap with lazy revalidation at pop time; the
+  // backing vector lives in the workspace, heap ops mirror what
+  // std::priority_queue does internally.
+  auto& heap = ws->heap;
   for (int pass = 0; pass < max_passes; ++pass) {
     ++stats.passes;
     std::fill(moved.begin(), moved.end(), 0);
-    // (gain, vertex) max-heap with lazy revalidation at pop time.
-    std::priority_queue<std::pair<wgt_t, vid_t>> pq;
+    heap.clear();
     for (vid_t v = 0; v < n; ++v) {
-      stats.work_units += static_cast<std::uint64_t>(g.degree(v)) + 1;
+      if (!gc->boundary(v)) {
+        ++stats.work_units;
+        continue;
+      }
       const auto [dst, gain] = best_move(v);
-      if (dst != kInvalidPart && gain > 0) pq.emplace(gain, v);
+      if (dst != kInvalidPart && gain > 0) {
+        heap.emplace_back(gain, v);
+        std::push_heap(heap.begin(), heap.end());
+      }
     }
     vid_t moves_this_pass = 0;
-    while (!pq.empty()) {
-      const auto [gain_at_push, v] = pq.top();
-      pq.pop();
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end());
+      const auto [gain_at_push, v] = heap.back();
+      heap.pop_back();
       if (moved[static_cast<std::size_t>(v)]) continue;
       // Revalidate: the neighbourhood may have changed since the push.
-      stats.work_units += static_cast<std::uint64_t>(g.degree(v)) + 1;
       const auto [dst, gain] = best_move(v);
       if (dst == kInvalidPart || gain <= 0) continue;
       if (gain != gain_at_push) {
-        pq.emplace(gain, v);  // stale entry: reinsert with current gain
+        heap.emplace_back(gain, v);  // stale entry: reinsert with current gain
+        std::push_heap(heap.begin(), heap.end());
         continue;
       }
       const part_t pv = p.where[static_cast<std::size_t>(v)];
       const wgt_t vw = g.vertex_weight(v);
       pw[static_cast<std::size_t>(pv)] -= vw;
       pw[static_cast<std::size_t>(dst)] += vw;
+      stats.work_units += gc->apply_move(g, p.where, v, pv, dst);
       p.where[static_cast<std::size_t>(v)] = dst;
       moved[static_cast<std::size_t>(v)] = 1;
       ++moves_this_pass;
       // Refresh the neighbours' queue entries.
       for (const vid_t u : g.neighbors(v)) {
         if (moved[static_cast<std::size_t>(u)]) continue;
-        stats.work_units += static_cast<std::uint64_t>(g.degree(u)) + 1;
+        if (!gc->boundary(u)) {
+          ++stats.work_units;
+          continue;
+        }
         const auto [du, gu] = best_move(u);
-        if (du != kInvalidPart && gu > 0) pq.emplace(gu, u);
+        if (du != kInvalidPart && gu > 0) {
+          heap.emplace_back(gu, u);
+          std::push_heap(heap.begin(), heap.end());
+        }
       }
     }
     stats.moves += moves_this_pass;
     if (moves_this_pass == 0) break;
   }
-  stats.cut_after = edge_cut(g, p);
-  stats.work_units += 2 * static_cast<std::uint64_t>(g.num_arcs());
+  stats.cut_after = gc->cut();
   return stats;
 }
 

@@ -2,11 +2,20 @@
 // adjacent part with the best gain, subject to the balance constraint.
 // Used by the serial driver's uncoarsening phase and as the quality
 // reference for the parallel refiners.
+//
+// Both variants are fed from a GainCache (DESIGN.md §3.6): passes touch
+// only boundary vertices, gains come from the sparse connectivity table,
+// and each committed move updates the cache by an O(deg) delta instead of
+// the next pass rescanning whole neighbourhoods.  Moves are byte-identical
+// to the historical full-scan code.
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/csr_graph.hpp"
+#include "core/gain_cache.hpp"
 #include "core/partition.hpp"
 #include "util/types.hpp"
 
@@ -20,22 +29,42 @@ struct KwayRefineStats {
   wgt_t cut_after = 0;
 };
 
+/// Reusable per-refiner scratch: the serial driver allocates one of these
+/// per run and passes it to every level, so the per-pass part-weight /
+/// moved-flag / heap vectors are hoisted out of the refiner (same pattern
+/// as the thread_local kernel scratch in the GPU refiner).  `cache` is
+/// the fallback gain cache built when the caller does not own one.
+struct KwayWorkspace {
+  GainCache cache;
+  std::vector<wgt_t> pw;
+  std::vector<char> moved;
+  std::vector<std::pair<wgt_t, vid_t>> heap;
+};
+
 /// In-place greedy k-way refinement.  Each pass scans boundary vertices;
 /// a vertex moves to the neighbouring part maximising (external(best) -
 /// internal) if that gain is positive (or zero while improving balance),
 /// the destination stays under max_pw, and the source stays above min_pw.
 /// Terminates early when a pass commits no move.
+///
+/// `cache`, when non-null, must be consistent with p.where on entry; it
+/// is kept consistent through every committed move so callers can carry
+/// it across uncoarsening levels.  When null, a cache is built locally
+/// (and the build is charged to work_units).
 KwayRefineStats kway_refine_serial(const CsrGraph& g, Partition& p,
-                                   double eps, int max_passes);
+                                   double eps, int max_passes,
+                                   GainCache* cache = nullptr,
+                                   KwayWorkspace* ws = nullptr);
 
 /// Priority-queue variant of the greedy k-way refinement: boundary
 /// vertices are processed in descending best-gain order (the ordering
 /// real Metis uses) instead of vertex-id scan order.  Slightly better
 /// cuts for slightly more bookkeeping — `bench/abl_kway_refine`
 /// quantifies the trade; the serial driver selects it via
-/// PartitionOptions::pq_refinement.
+/// PartitionOptions::pq_refinement.  Cache contract as above.
 KwayRefineStats kway_refine_pq(const CsrGraph& g, Partition& p, double eps,
-                               int max_passes);
+                               int max_passes, GainCache* cache = nullptr,
+                               KwayWorkspace* ws = nullptr);
 
 /// Per-vertex gain computation used by several refiners: fills `conn`
 /// (weight of v's arcs into each part present in its neighbourhood) and

@@ -43,32 +43,63 @@ void serial_attempt(const CsrGraph& g, const PartitionOptions& opts,
     shed_noted = true;
     return true;
   };
+  // Gain cache and refiner scratch carried across the whole V-cycle: the
+  // cache is built once on the coarsest graph, kept consistent by the
+  // refiners' delta updates, and projected (not rebuilt) at each
+  // uncoarsening level.  `cache_valid` tracks whether it matches p.where;
+  // rollbacks and watchdog sheds invalidate it.
+  GainCache gain_cache;
+  KwayWorkspace refine_ws;
+  bool cache_valid = false;
+
   /// Refine in place with a pre-refine checkpoint: a failed audit
   /// restores the checkpoint and drops the level's refinement (the
   /// serial refiner is deterministic, so retrying cannot help).
   auto guarded_refine = [&](const CsrGraph& graph, Partition& p,
                             const std::string& label) {
-    if (watchdog_expired()) return;
+    if (watchdog_expired()) {
+      cache_valid = false;  // later levels shed too; stop maintaining it
+      return;
+    }
+    if (!cache_valid) {
+      gain_cache.build(graph, p.where, p.k);
+      res.ledger.charge_serial(
+          label + "/gaincache-build",
+          static_cast<std::uint64_t>(graph.num_arcs()) +
+              static_cast<std::uint64_t>(graph.num_vertices()));
+      cache_valid = true;
+    }
     if (audit == AuditLevel::kOff) {
       auto st = opts.pq_refinement
-                    ? kway_refine_pq(graph, p, opts.eps, opts.refine_passes)
+                    ? kway_refine_pq(graph, p, opts.eps, opts.refine_passes,
+                                     &gain_cache, &refine_ws)
                     : kway_refine_serial(graph, p, opts.eps,
-                                         opts.refine_passes);
+                                         opts.refine_passes, &gain_cache,
+                                         &refine_ws);
       res.ledger.charge_serial(label, st.work_units);
       return;
     }
     const std::vector<part_t> checkpoint = p.where;
     auto st = opts.pq_refinement
-                  ? kway_refine_pq(graph, p, opts.eps, opts.refine_passes)
-                  : kway_refine_serial(graph, p, opts.eps,
-                                       opts.refine_passes);
+                  ? kway_refine_pq(graph, p, opts.eps, opts.refine_passes,
+                                   &gain_cache, &refine_ws)
+                  : kway_refine_serial(graph, p, opts.eps, opts.refine_passes,
+                                       &gain_cache, &refine_ws);
     res.ledger.charge_serial(label, st.work_units);
-    if (!run_audit(audit_partition(graph, p, opts.k, /*eps=*/0.0,
-                                   /*expected_cut=*/-1, audit))) {
+    bool ok = run_audit(audit_partition(graph, p, opts.k, /*eps=*/0.0,
+                                        /*expected_cut=*/-1, audit));
+    if (ok && audit == AuditLevel::kParanoid) {
+      // Cache-vs-recompute cross-check: the refiner both consumed and
+      // delta-updated the cache, so corruption there is as damaging as
+      // partition damage and audited at the same boundary.
+      ok = run_audit(audit_gain_cache(graph, p.where, gain_cache, audit));
+    }
+    if (!ok) {
       ++res.health.rollbacks;
       res.health.degraded = true;
       res.health.note("rollback: " + label + " dropped, keeping checkpoint");
       p.where = checkpoint;
+      cache_valid = false;  // rebuilt lazily against the restored labels
     }
   };
 
@@ -157,6 +188,22 @@ void serial_attempt(const CsrGraph& g, const PartitionOptions& opts,
     res.ledger.charge_serial(
         "uncoarsen/project/L" + std::to_string(i),
         static_cast<std::uint64_t>(fine.num_vertices()));
+    // Project the gain cache alongside the labels: fine vertices whose
+    // coarse parent was interior inherit id/ed without any table work.
+    if (cache_valid && !watchdog.expired()) {
+      GainCache fine_cache;
+      fine_cache.init(fine, opts.k);
+      wgt_t ed_sum = 0;
+      const auto w = fine_cache.project_range(gain_cache, fine, p.where,
+                                              levels[i].cmap, 0,
+                                              fine.num_vertices(), &ed_sum);
+      fine_cache.finish_totals(ed_sum);
+      gain_cache = std::move(fine_cache);
+      res.ledger.charge_serial("uncoarsen/gaincache/L" + std::to_string(i),
+                               w);
+    } else {
+      cache_valid = false;
+    }
     if (audit != AuditLevel::kOff) {
       AuditFailure f = audit_partition(fine, p, opts.k, /*eps=*/0.0,
                                        /*expected_cut=*/-1, audit);

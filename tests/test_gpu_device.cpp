@@ -54,6 +54,27 @@ TEST(Device, BufferPoolRecyclesAndRezeroes) {
   EXPECT_EQ(dev.pool_hits(), hits0 + 1);
 }
 
+TEST(Device, PoolPresizeServesFirstTouchFromPool) {
+  Device dev(small_device());
+  dev.pool_presize(1 << 18, /*copies=*/2);
+  const auto misses0 = dev.pool_misses();
+  const auto hits0 = dev.pool_hits();
+  {
+    // First-touch allocations across assorted buckets, two live at once
+    // in the same bucket: all must be pool hits after pre-sizing.
+    DeviceBuffer<int> a(dev, 1000, "a");
+    DeviceBuffer<int> a2(dev, 1000, "a2");
+    DeviceBuffer<double> b(dev, 4000, "b");
+    DeviceBuffer<char> c(dev, 100000, "c");
+    EXPECT_EQ(dev.pool_misses(), misses0);
+    EXPECT_EQ(dev.pool_hits(), hits0 + 4);
+    for (std::size_t i = 0; i < 1000; ++i) ASSERT_EQ(a.data()[i], 0);
+  }
+  // Beyond the pre-sized ceiling the pool still misses as before.
+  DeviceBuffer<char> big(dev, (1 << 18) * 2, "big");
+  EXPECT_EQ(dev.pool_misses(), misses0 + 1);
+}
+
 TEST(Device, OutOfMemoryThrows) {
   Device dev(small_device());
   EXPECT_THROW(DeviceBuffer<char>(dev, (1 << 20) + 1, "big"),
