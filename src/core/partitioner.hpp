@@ -38,6 +38,12 @@ struct PartitionOptions {
   /// Stop coarsening early if a level shrinks by less than this factor.
   double min_shrink = 0.95;
   int refine_passes = 8;
+  /// GGGP+FM trials raced per bisection by the mt-style initial
+  /// partitioning engine (mt-metis, gp-metis, gmetis).  The partition is
+  /// byte-identical at any thread count for a fixed value; raising it
+  /// buys cut quality for modeled time.  The serial driver keeps its
+  /// Metis-faithful 4 growths + 1 FM and ignores this.
+  int init_trials = 1;
   /// Serial driver only: use the priority-queue k-way refiner (process
   /// boundary vertices in best-gain order, as real Metis does) instead
   /// of the scan-order refiner.  Ablation: bench/abl_kway_refine.

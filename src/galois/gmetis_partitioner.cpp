@@ -142,7 +142,8 @@ PartitionResult GmetisPartitioner::run(const CsrGraph& g,
   res.coarsen_levels = static_cast<int>(levels.size());
   res.coarsest_vertices = cur->num_vertices();
 
-  Partition p = mt_initial_partition(*cur, opts.k, opts.eps, ctx);
+  Partition p =
+      mt_initial_partition(*cur, opts.k, opts.eps, ctx, opts.init_trials);
   mt_refine(*cur, p, opts.eps, opts.refine_passes, ctx, lvl);
 
   for (std::size_t i = levels.size(); i-- > 0;) {

@@ -14,7 +14,7 @@ GpuMatchResult gpu_match(Device& dev, const GpuGraph& g, int level,
   const std::string L = "/L" + std::to_string(level);
   GpuMatchResult r;
   r.match = DeviceBuffer<vid_t>(dev, static_cast<std::size_t>(n),
-                                "match" + L);
+                                "coarsen/match" + L);
   r.match.fill(kInvalidVid);
 
   vid_t* match = r.match.data();

@@ -263,7 +263,7 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
             1, std::min<std::int64_t>(launch_threads / D, n));
 
         DeviceBuffer<vid_t> match(dev, static_cast<std::size_t>(n),
-                                  "match" + L);
+                                  "coarsen/match" + L);
         match.fill(kInvalidVid);
         vid_t* mt = match.data();
         const eid_t* adjp = s.adjp.data();

@@ -1,149 +1,29 @@
 #include "mt/mt_initpart.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
-#include "core/graph_ops.hpp"
-#include "serial/bisection.hpp"
-#include "util/rng.hpp"
+#include "serial/initpart_engine.hpp"
 
 namespace gp {
 
-namespace {
-
-struct GroupTask {
-  CsrGraph           graph;
-  std::vector<vid_t> ids;   ///< original (coarse-graph) vertex ids
-  part_t             k;
-  part_t             first_part;
-  int                group_threads;
-};
-
-}  // namespace
-
 Partition mt_initial_partition(const CsrGraph& g, part_t k, double eps,
-                               const MtContext& ctx) {
-  Partition p;
-  p.k = k;
-  p.where.assign(static_cast<std::size_t>(g.num_vertices()), 0);
-  if (k <= 1 || g.num_vertices() == 0) return p;
-
-  const int depth_total = std::max(1, static_cast<int>(std::ceil(std::log2(k))));
-  const double eps_level = eps / static_cast<double>(depth_total);
-
-  // Breadth-first over the bisection tree: tasks at the same depth are
-  // concurrent in the real system; within a task, `group_threads` threads
-  // race bisection trials.  Execution here runs trials on the pool and
-  // charges the modeled concurrent time per depth.
-  std::vector<GroupTask> frontier;
-  {
-    GroupTask root;
-    root.graph = g;  // copy: the coarse graph is small by construction
-    root.ids.resize(static_cast<std::size_t>(g.num_vertices()));
-    for (vid_t v = 0; v < g.num_vertices(); ++v)
-      root.ids[static_cast<std::size_t>(v)] = v;
-    root.k = k;
-    root.first_part = 0;
-    root.group_threads = std::max(1, ctx.threads());
-    frontier.push_back(std::move(root));
-  }
-
-  int depth = 0;
-  std::uint64_t trial_seed = ctx.seed * 7919;
-  while (!frontier.empty()) {
-    std::vector<GroupTask> next;
-    // Modeled per-thread work for this depth (index = logical thread).
-    std::vector<std::uint64_t> depth_work(
-        static_cast<std::size_t>(std::max(1, ctx.threads())), 0);
-    int slot = 0;
-
-    for (auto& task : frontier) {
-      if (task.k == 1) {
-        for (const vid_t id : task.ids)
-          p.where[static_cast<std::size_t>(id)] = task.first_part;
-        continue;
-      }
-      const part_t k0 = (task.k + 1) / 2;
-      const wgt_t total = task.graph.total_vertex_weight();
-      const wgt_t target0 = static_cast<wgt_t>(std::llround(
-          static_cast<double>(total) * static_cast<double>(k0) /
-          static_cast<double>(task.k)));
-
-      // group_threads independent trials; best cut wins.  Trials run on
-      // the pool (they are independent, so racing them is faithful).
-      const int trials = std::max(1, task.group_threads);
-      std::vector<BisectionResult> results(static_cast<std::size_t>(trials));
-      std::vector<FmStats> fm_stats(static_cast<std::size_t>(trials));
-      const wgt_t slack = std::max<wgt_t>(
-          1, static_cast<wgt_t>(std::floor(static_cast<double>(target0) *
-                                           eps_level)));
-      // Balance window floors/caps keep both sides populous enough to
-      // host their part counts (see rb_partition.cpp).
-      const wgt_t min0 = std::max<wgt_t>(k0, target0 - slack);
-      const wgt_t max0 =
-          std::min<wgt_t>(total - (task.k - k0), target0 + slack);
-      ctx.pool->parallel_for_blocked(
-          trials, [&](int, std::int64_t b, std::int64_t e) {
-            for (std::int64_t i = b; i < e; ++i) {
-              Rng rng(trial_seed + static_cast<std::uint64_t>(i) * 104729ULL);
-              auto bis = gggp_bisect(task.graph, target0, rng, 1);
-              // gggp's cut is exact and FM tracks it exactly from there, so
-              // neither end of the refinement needs an O(E) cut rescan.
-              fm_stats[static_cast<std::size_t>(i)] = fm_refine_bisection(
-                  task.graph, bis.side, min0, max0, 8, bis.cut);
-              bis.cut = fm_stats[static_cast<std::size_t>(i)].cut_after;
-              results[static_cast<std::size_t>(i)] = std::move(bis);
-            }
-          });
-      trial_seed += static_cast<std::uint64_t>(trials);
-
-      std::size_t best = 0;
-      for (std::size_t i = 1; i < results.size(); ++i) {
-        if (results[i].cut < results[best].cut) best = i;
-      }
-      // Each trial occupies one logical thread of the group.
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        depth_work[static_cast<std::size_t>(
-            (slot + static_cast<int>(i)) %
-            static_cast<int>(depth_work.size()))] +=
-            results[i].work_units + fm_stats[i].work_units;
-      }
-      slot += trials;
-
-      // Split into subtasks.
-      const auto& side = results[best].side;
-      std::vector<char> mask0(side.size()), mask1(side.size());
-      for (std::size_t v = 0; v < side.size(); ++v) {
-        mask0[v] = (side[v] == 0);
-        mask1[v] = (side[v] == 1);
-      }
-      std::vector<vid_t> map0, map1;
-      GroupTask t0, t1;
-      t0.graph = induced_subgraph(task.graph, mask0, &map0);
-      t1.graph = induced_subgraph(task.graph, mask1, &map1);
-      t0.ids.resize(static_cast<std::size_t>(t0.graph.num_vertices()));
-      t1.ids.resize(static_cast<std::size_t>(t1.graph.num_vertices()));
-      for (std::size_t v = 0; v < side.size(); ++v) {
-        if (map0[v] != kInvalidVid)
-          t0.ids[static_cast<std::size_t>(map0[v])] = task.ids[v];
-        if (map1[v] != kInvalidVid)
-          t1.ids[static_cast<std::size_t>(map1[v])] = task.ids[v];
-      }
-      t0.k = k0;
-      t1.k = task.k - k0;
-      t0.first_part = task.first_part;
-      t1.first_part = task.first_part + k0;
-      t0.group_threads = std::max(1, task.group_threads / 2);
-      t1.group_threads = std::max(1, task.group_threads - t0.group_threads);
-      next.push_back(std::move(t0));
-      next.push_back(std::move(t1));
-    }
-    ctx.charge_pass("initpart/depth" + std::to_string(depth), depth_work);
-    frontier = std::move(next);
-    ++depth;
-  }
-  return p;
+                               const MtContext& ctx, int trials,
+                               int fm_passes) {
+  InitPartConfig cfg;
+  cfg.k = k;
+  cfg.eps = eps;
+  cfg.trials = std::max(1, trials);
+  cfg.fm_passes = fm_passes;
+  cfg.seed_mode = InitSeedMode::kDerived;
+  cfg.fm_per_trial = true;  // every trial is growth + FM, best refined cut
+  // Same seed hash the historical implementation used: trial t of the
+  // bisection with static BFS rank b draws from Rng(seed*7919 + b +
+  // t*104729) — at trials == 1 this reproduces its 1-thread partitions.
+  cfg.seed_base = ctx.seed * 7919ULL;
+  cfg.pool = ctx.pool;
+  cfg.ledger = ctx.ledger;
+  cfg.model_threads = ctx.threads();
+  return initpart_engine(g, cfg, nullptr);
 }
 
 }  // namespace gp

@@ -1,8 +1,10 @@
-// mt-metis-style parallel initial partitioning: every thread bisects the
-// coarse graph independently (different seeds), the minimum-cut bisection
-// wins, and the thread group splits in half to recurse on the two sides
+// mt-metis-style parallel initial partitioning: independent GGGP+FM
+// trials race per bisection (different derived seeds), the (cut, trial-id)
+// minimum wins, and disjoint subtrees execute as independent pool tasks
 // ("half of the threads work on one of the bisections and half of them
-// partition the other bisection recursively").
+// partition the other bisection recursively").  Implemented on the shared
+// engine of serial/initpart_engine.hpp in derived-seed mode, so the
+// partition is byte-identical at any thread count.
 #pragma once
 
 #include "core/csr_graph.hpp"
@@ -11,8 +13,12 @@
 
 namespace gp {
 
-/// Parallel best-of-threads recursive bisection into k parts.
+/// Parallel recursive bisection into k parts.  `trials` independent
+/// GGGP+FM attempts race per bisection (1 reproduces the historical
+/// single-thread sequence); work is charged to ctx's ledger per level.
 [[nodiscard]] Partition mt_initial_partition(const CsrGraph& g, part_t k,
-                                             double eps, const MtContext& ctx);
+                                             double eps, const MtContext& ctx,
+                                             int trials = 1,
+                                             int fm_passes = 8);
 
 }  // namespace gp

@@ -181,7 +181,8 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
   out.levels = static_cast<int>(levels.size());
   out.coarsest_vertices = cur->num_vertices();
 
-  Partition p = mt_initial_partition(*cur, opts.k, opts.eps, ctx);
+  Partition p =
+      mt_initial_partition(*cur, opts.k, opts.eps, ctx, opts.init_trials);
   if (audit != AuditLevel::kOff) {
     AuditFailure f = audit_partition(*cur, p, opts.k, /*eps=*/0.0,
                                      /*expected_cut=*/-1, audit);

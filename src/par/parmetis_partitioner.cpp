@@ -11,8 +11,8 @@
 #include "gpu/hash_table.hpp"
 #include "par/comm.hpp"
 #include "serial/hem_matching.hpp"
+#include "serial/initpart_engine.hpp"
 #include "serial/metis_partitioner.hpp"
-#include "serial/rb_partition.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -649,9 +649,18 @@ void parmetis_attempt(const CsrGraph& g, const PartitionOptions& opts,
           }
         }
 
-        RbStats st;
-        Partition cand = recursive_bisection(*base, opts.k, opts.eps, rng, &st);
-        work += st.work_units;
+        // Shared initial-partitioning engine, stream-seed mode: byte-
+        // compatible with the serial recursion.  Ranks already execute
+        // concurrently on the comm layer's pool, so each rank runs the
+        // engine without a nested pool of its own (nesting pool dispatch
+        // inside a pool worker would deadlock).
+        InitPartConfig icfg;
+        icfg.k = opts.k;
+        icfg.eps = opts.eps;
+        icfg.seed_mode = InitSeedMode::kStream;
+        InitPartStats ist;
+        Partition cand = initpart_engine(*base, icfg, &rng, &ist);
+        work += ist.work_units;
 
         // Project the candidate back through the replica's private
         // levels (with a refinement pass each, as the serial driver

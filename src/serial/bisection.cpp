@@ -108,18 +108,6 @@ class GainHeap {
   std::vector<std::pair<wgt_t, vid_t>> pr_;
 };
 
-/// gain of moving v to the other side = external - internal arc weight.
-wgt_t move_gain(const CsrGraph& g, const std::vector<part_t>& side, vid_t v) {
-  const auto nbrs = g.neighbors(v);
-  const auto wts = g.neighbor_weights(v);
-  const part_t sv = side[static_cast<std::size_t>(v)];
-  wgt_t gain = 0;
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    gain += (side[static_cast<std::size_t>(nbrs[i])] != sv) ? wts[i] : -wts[i];
-  }
-  return gain;
-}
-
 }  // namespace
 
 wgt_t bisection_cut(const CsrGraph& g, const std::vector<part_t>& side) {
@@ -237,7 +225,8 @@ BisectionResult gggp_bisect(const CsrGraph& g, wgt_t target0, Rng& rng,
 
 FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
                             wgt_t min0, wgt_t max0, int max_passes,
-                            wgt_t cut_hint) {
+                            wgt_t cut_hint, ThreadPool* seed_pool,
+                            std::vector<std::uint64_t>* seed_thread_work) {
   const vid_t n = g.num_vertices();
   FmStats stats;
   stats.cut_before = (cut_hint >= 0) ? cut_hint : bisection_cut(g, side);
@@ -248,21 +237,79 @@ FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
     if (side[static_cast<std::size_t>(v)] == 0) w0 += g.vertex_weight(v);
   }
 
+  // Persistent exact gain cache (DESIGN.md §3.7): one full O(n + arcs)
+  // build, then delta-maintained through every move AND every rollback, so
+  // later passes seed from an O(n) boundary sweep instead of re-deriving
+  // gains from the arcs, and the drain never pays the old "first touch
+  // this pass" full recompute.  A vertex is boundary iff it has a crossing
+  // arc, i.e. ext > 0; with gain = ext - int and wdeg = ext + int that is
+  // exactly gain + wdeg > 0, so the boundary test needs no neighbour scan.
   std::vector<wgt_t> gain(static_cast<std::size_t>(n));
+  std::vector<wgt_t> wdeg(static_cast<std::size_t>(n));
+  std::vector<wgt_t> selfw(static_cast<std::size_t>(n));
   std::vector<char> moved(static_cast<std::size_t>(n));
-  // Gains are valid only once computed in the current pass; applying a
-  // delta to a stale entry would corrupt the cut accounting.
-  std::vector<int> gain_pass(static_cast<std::size_t>(n), -1);
+
+  // Parallel-seeding scratch, alive across passes.  Scans write only
+  // per-vertex slots they own (contiguous blocks) and per-thread buffers,
+  // so they are race-free; concatenating the buffers in block order
+  // reproduces the serial append sequence exactly.
+  const bool par_seed = seed_pool && seed_pool->size() > 1 && n >= 256;
+  std::vector<std::vector<std::pair<wgt_t, vid_t>>> seed_bufs;
+  std::vector<std::uint64_t> seed_tw;
+  if (par_seed) {
+    seed_bufs.resize(static_cast<std::size_t>(seed_pool->size()));
+    seed_tw.assign(static_cast<std::size_t>(seed_pool->size()), 0);
+  }
+
+  wgt_t maxwdeg = 0;
+  auto init_range = [&](std::int64_t b, std::int64_t e,
+                        wgt_t* mw_out) -> std::uint64_t {
+    wgt_t mw = 0;
+    std::uint64_t w = 0;
+    for (std::int64_t vi = b; vi < e; ++vi) {
+      const auto v = static_cast<vid_t>(vi);
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.neighbor_weights(v);
+      const part_t sv = side[static_cast<std::size_t>(v)];
+      wgt_t wd = 0, gn = 0, sw = 0;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        wd += wts[i];
+        if (nbrs[i] == v) sw += wts[i];
+        gn +=
+            (side[static_cast<std::size_t>(nbrs[i])] != sv) ? wts[i] : -wts[i];
+      }
+      wdeg[static_cast<std::size_t>(v)] = wd;
+      selfw[static_cast<std::size_t>(v)] = sw;
+      gain[static_cast<std::size_t>(v)] = gn;
+      mw = std::max(mw, wd);
+      w += 1 + nbrs.size();
+    }
+    *mw_out = mw;
+    return w;
+  };
+  if (par_seed) {
+    std::vector<wgt_t> tmax(static_cast<std::size_t>(seed_pool->size()), 0);
+    std::fill(seed_tw.begin(), seed_tw.end(), 0);
+    seed_pool->parallel_for_blocked(
+        n, [&](int t, std::int64_t b, std::int64_t e) {
+          seed_tw[static_cast<std::size_t>(t)] =
+              init_range(b, e, &tmax[static_cast<std::size_t>(t)]);
+        });
+    for (std::size_t t = 0; t < seed_tw.size(); ++t) {
+      maxwdeg = std::max(maxwdeg, tmax[t]);
+      stats.work_units += seed_tw[t];
+      stats.seed_work += seed_tw[t];
+      if (seed_thread_work) (*seed_thread_work)[t] += seed_tw[t];
+    }
+  } else {
+    const std::uint64_t w = init_range(0, n, &maxwdeg);
+    stats.work_units += w;
+    stats.seed_work += w;
+  }
 
   // Heap key mode: a gain never exceeds the vertex's weighted degree, so
   // the packed 8-byte heap is exact whenever the heaviest vertex stays
   // comfortably inside 31 bits.
-  wgt_t maxwdeg = 0;
-  for (vid_t v = 0; v < n; ++v) {
-    wgt_t s = 0;
-    for (const wgt_t w : g.neighbor_weights(v)) s += w;
-    maxwdeg = std::max(maxwdeg, s);
-  }
   GainHeap heap;
   heap.reset(maxwdeg < (wgt_t{1} << 30));
   std::vector<vid_t> move_seq;
@@ -271,29 +318,46 @@ FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
     ++stats.passes;
     std::fill(moved.begin(), moved.end(), 0);
 
-    // Seed with boundary vertices.  One fused neighbour scan both detects
-    // the boundary and accumulates the move gain.
+    // Seed with boundary vertices — an O(1)-per-vertex sweep over the
+    // maintained gains (the old code re-derived every gain from the arcs
+    // here, every pass).
     heap.clear();
-    for (vid_t v = 0; v < n; ++v) {
-      const part_t sv = side[static_cast<std::size_t>(v)];
-      const auto nbrs = g.neighbors(v);
-      const auto wts = g.neighbor_weights(v);
-      wgt_t gn = 0;
-      bool boundary = false;
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        if (side[static_cast<std::size_t>(nbrs[i])] != sv) {
-          gn += wts[i];
-          boundary = true;
-        } else {
-          gn -= wts[i];
-        }
+    if (par_seed) {
+      for (auto& buf : seed_bufs) buf.clear();
+      std::fill(seed_tw.begin(), seed_tw.end(), 0);
+      seed_pool->parallel_for_blocked(
+          n, [&](int t, std::int64_t b, std::int64_t e) {
+            auto& buf = seed_bufs[static_cast<std::size_t>(t)];
+            std::uint64_t w = 0;
+            for (std::int64_t vi = b; vi < e; ++vi) {
+              const auto v = static_cast<vid_t>(vi);
+              w += 1;
+              if (gain[static_cast<std::size_t>(v)] +
+                      wdeg[static_cast<std::size_t>(v)] >
+                  0) {
+                w += 1;
+                buf.emplace_back(gain[static_cast<std::size_t>(v)], v);
+              }
+            }
+            seed_tw[static_cast<std::size_t>(t)] = w;
+          });
+      for (std::size_t t = 0; t < seed_bufs.size(); ++t) {
+        for (const auto& [gn, v] : seed_bufs[t]) heap.append(gn, v);
+        stats.work_units += seed_tw[t];
+        stats.seed_work += seed_tw[t];
+        if (seed_thread_work) (*seed_thread_work)[t] += seed_tw[t];
       }
-      stats.work_units += 1;
-      if (boundary) {
-        gain[static_cast<std::size_t>(v)] = gn;
-        gain_pass[static_cast<std::size_t>(v)] = pass;
-        stats.work_units += static_cast<std::uint64_t>(g.degree(v));
-        heap.append(gn, v);
+    } else {
+      for (vid_t v = 0; v < n; ++v) {
+        stats.work_units += 1;
+        stats.seed_work += 1;
+        if (gain[static_cast<std::size_t>(v)] +
+                wdeg[static_cast<std::size_t>(v)] >
+            0) {
+          stats.work_units += 1;
+          stats.seed_work += 1;
+          heap.append(gain[static_cast<std::size_t>(v)], v);
+        }
       }
     }
     heap.build();
@@ -329,36 +393,63 @@ FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
         best_cut = sim_cut;
         best_prefix = move_seq.size();
       }
-      // Update neighbour gains.
+      // Update neighbour gains.  Every neighbour's gain gets the exact
+      // delta — including already-moved ones, which the old code left
+      // stale — so the cache stays globally exact and the next pass can
+      // seed without recomputing.  Only unmoved neighbours are (re)pushed,
+      // exactly as before, so the heap's value sequence is unchanged.
       const auto nbrs = g.neighbors(v);
       const auto wts = g.neighbor_weights(v);
       stats.work_units += nbrs.size();
+      stats.drain_work += nbrs.size();
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const vid_t u = nbrs[i];
-        if (moved[static_cast<std::size_t>(u)]) continue;
-        if (gain_pass[static_cast<std::size_t>(u)] == pass) {
-          // v switched sides: if u is now on v's old side its gain rises
-          // by 2*w(u,v); if on v's new side it falls by 2*w(u,v).
-          const wgt_t delta =
-              (side[static_cast<std::size_t>(u)] == sv) ? 2 * wts[i]
-                                                        : -2 * wts[i];
-          gain[static_cast<std::size_t>(u)] += delta;
-        } else {
-          // First time u becomes interesting this pass: full recompute.
-          gain[static_cast<std::size_t>(u)] = move_gain(g, side, u);
-          gain_pass[static_cast<std::size_t>(u)] = pass;
-          stats.work_units += static_cast<std::uint64_t>(g.degree(u));
+        if (u == v) continue;  // self-arcs never change crossing state
+        // v switched sides: if the arc now crosses, u's gain rises by
+        // 2*w(u,v); if it became internal, it falls by 2*w(u,v).
+        const wgt_t delta = (side[static_cast<std::size_t>(u)] !=
+                             side[static_cast<std::size_t>(v)])
+                                ? 2 * wts[i]
+                                : -2 * wts[i];
+        gain[static_cast<std::size_t>(u)] += delta;
+        if (!moved[static_cast<std::size_t>(u)]) {
+          heap.push(gain[static_cast<std::size_t>(u)], u);
         }
-        heap.push(gain[static_cast<std::size_t>(u)], u);
       }
+      // v's own flip negates its non-self gain (ext and int swap); the
+      // self-arc contribution -selfw is side-invariant.
+      gain[static_cast<std::size_t>(v)] =
+          -gn - 2 * selfw[static_cast<std::size_t>(v)];
     }
 
-    // Roll back moves past the best prefix.
+    // Roll back moves past the best prefix.  When the pass improved
+    // (best_prefix > 0) the loop continues, so the inverse gain deltas
+    // keep the cache exact for the next seeding sweep.  When it did not
+    // (best_prefix == 0) this is the terminal pass — the cache is dead,
+    // so the rollback is just the cheap side flips.
+    const bool fix_gains = best_prefix > 0;
     for (std::size_t i = move_seq.size(); i-- > best_prefix;) {
       const vid_t v = move_seq[i];
       const part_t sv = side[static_cast<std::size_t>(v)];
       side[static_cast<std::size_t>(v)] = 1 - sv;
       w0 += (sv == 0) ? -g.vertex_weight(v) : g.vertex_weight(v);
+      if (!fix_gains) continue;
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.neighbor_weights(v);
+      stats.work_units += nbrs.size();
+      stats.drain_work += nbrs.size();
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        const vid_t u = nbrs[j];
+        if (u == v) continue;
+        gain[static_cast<std::size_t>(u)] +=
+            (side[static_cast<std::size_t>(u)] !=
+             side[static_cast<std::size_t>(v)])
+                ? 2 * wts[j]
+                : -2 * wts[j];
+      }
+      gain[static_cast<std::size_t>(v)] =
+          -gain[static_cast<std::size_t>(v)] -
+          2 * selfw[static_cast<std::size_t>(v)];
     }
     const wgt_t new_cut = best_cut;
     const bool improved = new_cut < cur_cut;

@@ -6,6 +6,7 @@
 
 #include "core/csr_graph.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/types.hpp"
 
 namespace gp {
@@ -25,7 +26,13 @@ struct BisectionResult {
                                           Rng& rng, int trials = 4);
 
 struct FmStats {
-  std::uint64_t work_units = 0;
+  std::uint64_t work_units = 0;  ///< seed_work + drain_work
+  /// Gain-cache build (one O(n + arcs) sweep) plus the per-pass O(n)
+  /// boundary sweeps: embarrassingly parallel, see seed_pool below.
+  std::uint64_t seed_work = 0;
+  /// Heap-drain portion (sequential moves + rollback with exact inverse
+  /// gain deltas): inherently serial.
+  std::uint64_t drain_work = 0;
   int passes = 0;
   wgt_t cut_before = 0;
   wgt_t cut_after = 0;
@@ -40,9 +47,21 @@ struct FmStats {
 /// (callers coming straight from gggp_bisect already know it) and skips
 /// the O(E) recompute; FM tracks the cut exactly from there, so
 /// `cut_after` always equals bisection_cut of the refined side.
+///
+/// `seed_pool`, when non-null with more than one worker, parallelizes the
+/// per-pass boundary-seeding scan across its threads.  The result is
+/// byte-identical to the serial scan: per-thread buffers cover contiguous
+/// vertex blocks, are concatenated in block order (so the heap receives
+/// the same append sequence), and the heap's (gain, vertex) keys are
+/// distinct, so the drain pops the same move sequence regardless of
+/// layout.  `seed_thread_work`, when provided (sized >= pool size),
+/// accumulates the measured per-thread seeding work for model charging.
 FmStats fm_refine_bisection(const CsrGraph& g, std::vector<part_t>& side,
                             wgt_t min0, wgt_t max0, int max_passes = 8,
-                            wgt_t cut_hint = -1);
+                            wgt_t cut_hint = -1,
+                            ThreadPool* seed_pool = nullptr,
+                            std::vector<std::uint64_t>* seed_thread_work =
+                                nullptr);
 
 /// Cut of a 2-way partition given as a side vector.
 [[nodiscard]] wgt_t bisection_cut(const CsrGraph& g,

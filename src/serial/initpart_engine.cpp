@@ -1,0 +1,433 @@
+#include "serial/initpart_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "core/graph_ops.hpp"
+#include "serial/bisection.hpp"
+
+namespace gp {
+
+int initpart_select_winner(const std::vector<wgt_t>& cuts) {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(cuts.size()); ++i) {
+    if (cuts[static_cast<std::size_t>(i)] <
+        cuts[static_cast<std::size_t>(best)]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Static shape of the bisection tree: computable from k alone, because
+/// every internal node splits its part count k into k0 = ceil(k/2) and
+/// k - k0 regardless of the graph it ends up bisecting.  The static ranks
+/// are what make per-trial seeds independent of execution order (and
+/// therefore of the thread count).
+struct PlanNode {
+  part_t k = 0;           ///< parts this subtree must produce (>= 2)
+  part_t k0 = 0;          ///< left child's share, ceil(k/2)
+  part_t first_part = 0;
+  int depth = 0;
+  int left = -1;          ///< plan index of the left child; -1 = k==1 leaf
+  int right = -1;
+  std::uint64_t pre_rank = 0;  ///< internal nodes before this one, preorder
+  std::uint64_t bfs_rank = 0;  ///< internal nodes before this one, BFS order
+};
+
+int build_plan(std::vector<PlanNode>& out, part_t k, part_t first_part,
+               int depth) {
+  const int idx = static_cast<int>(out.size());
+  PlanNode n;
+  n.k = k;
+  n.k0 = (k + 1) / 2;  // left branch takes ceil(k/2) parts (Metis rule)
+  n.first_part = first_part;
+  n.depth = depth;
+  n.pre_rank = static_cast<std::uint64_t>(idx);
+  out.push_back(n);
+  if (n.k0 > 1) {
+    const int l = build_plan(out, n.k0, first_part, depth + 1);
+    out[static_cast<std::size_t>(idx)].left = l;
+  }
+  if (k - n.k0 > 1) {
+    const int r = build_plan(out, k - n.k0,
+                             static_cast<part_t>(first_part + n.k0),
+                             depth + 1);
+    out[static_cast<std::size_t>(idx)].right = r;
+  }
+  return idx;
+}
+
+void assign_bfs_ranks(std::vector<PlanNode>& plan) {
+  std::vector<int> queue{0};
+  std::uint64_t rank = 0;
+  for (std::size_t h = 0; h < queue.size(); ++h) {
+    PlanNode& n = plan[static_cast<std::size_t>(queue[h])];
+    n.bfs_rank = rank++;
+    if (n.left >= 0) queue.push_back(n.left);
+    if (n.right >= 0) queue.push_back(n.right);
+  }
+}
+
+void advance_rng(Rng& r, std::uint64_t draws) {
+  while (draws--) r.next();
+}
+
+/// A live tree node: the induced subgraph it must bisect plus the original
+/// coarse-graph vertex ids behind its local ids.
+struct ExecNode {
+  int plan = -1;
+  CsrGraph graph;
+  std::vector<vid_t> ids;
+};
+
+}  // namespace
+
+Partition initpart_engine(const CsrGraph& g, const InitPartConfig& cfg,
+                          Rng* stream_rng, InitPartStats* stats) {
+  Partition p;
+  p.k = cfg.k;
+  p.where.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  const int trials = std::max(1, cfg.trials);
+  if (cfg.k <= 1 || g.num_vertices() == 0) {
+    if (stats) *stats = InitPartStats{};
+    return p;
+  }
+
+  std::vector<PlanNode> plan;
+  build_plan(plan, cfg.k, 0, 0);
+  assign_bfs_ranks(plan);
+
+  // Tolerance budget: log2(k) nested bisections share eps (same split as
+  // the historical serial and mt implementations).
+  const int depth_total = std::max(
+      1, static_cast<int>(std::ceil(std::log2(static_cast<double>(cfg.k)))));
+  const double eps_level = cfg.eps / static_cast<double>(depth_total);
+
+  ThreadPool* pool = (cfg.pool && cfg.pool->size() > 1) ? cfg.pool : nullptr;
+  const int model_threads =
+      cfg.model_threads > 0 ? cfg.model_threads
+                            : (cfg.pool ? cfg.pool->size() : 1);
+
+  // In stream mode every trial's RNG is the caller's stream advanced to
+  // the trial's nominal draw position: trials consume one draw each, in
+  // preorder over the tree, exactly as the old depth-first recursion did.
+  // Positions are static, so trials can run in any order on any thread.
+  const Rng stream_root = stream_rng ? *stream_rng : Rng(0);
+  auto trial_rng = [&](const PlanNode& pn, int t) {
+    if (cfg.seed_mode == InitSeedMode::kDerived) {
+      return Rng(cfg.seed_base + pn.bfs_rank +
+                 static_cast<std::uint64_t>(t) * 104729ULL);
+    }
+    Rng r = stream_root;
+    advance_rng(r, pn.pre_rank * static_cast<std::uint64_t>(trials) +
+                       static_cast<std::uint64_t>(t));
+    return r;
+  };
+
+  InitPartStats st;
+  st.tree_nodes = static_cast<int>(plan.size());
+
+  std::vector<ExecNode> frontier(1);
+  frontier[0].plan = 0;
+  frontier[0].graph = g;  // copy: the coarse graph is small by construction
+  frontier[0].ids.resize(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    frontier[0].ids[static_cast<std::size_t>(v)] = v;
+  }
+
+  while (!frontier.empty()) {
+    const int d = plan[static_cast<std::size_t>(frontier[0].plan)].depth;
+    st.max_depth = std::max(st.max_depth, d);
+    const int nn = static_cast<int>(frontier.size());
+    const int units = nn * trials;
+    const std::string lvl = "/L" + std::to_string(d);
+
+    // Per-node balance windows (identical formulas to the historical
+    // serial and mt implementations; see rb_partition.cpp history).
+    std::vector<wgt_t> target0(static_cast<std::size_t>(nn));
+    std::vector<wgt_t> min0(static_cast<std::size_t>(nn));
+    std::vector<wgt_t> max0(static_cast<std::size_t>(nn));
+    for (int i = 0; i < nn; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      const PlanNode& pn = plan[static_cast<std::size_t>(frontier[ii].plan)];
+      const wgt_t total = frontier[ii].graph.total_vertex_weight();
+      const wgt_t t0 = static_cast<wgt_t>(
+          std::llround(static_cast<double>(total) *
+                       static_cast<double>(pn.k0) /
+                       static_cast<double>(pn.k)));
+      const wgt_t slack = std::max<wgt_t>(
+          1, static_cast<wgt_t>(
+                 std::floor(static_cast<double>(t0) * eps_level)));
+      target0[ii] = t0;
+      // Neither side may be refined below the weight its part count needs.
+      min0[ii] = std::max<wgt_t>(pn.k0, t0 - slack);
+      max0[ii] = std::min<wgt_t>(total - (pn.k - pn.k0), t0 + slack);
+    }
+
+    // ---- Phase A: GGGP trials (plus per-trial FM in mt mode).  Units
+    // are (node, trial) pairs, independent by construction, drained by
+    // work-stealing; results land in per-unit slots so scheduling order
+    // cannot leak into the outcome.
+    std::vector<std::vector<part_t>> side(static_cast<std::size_t>(units));
+    std::vector<wgt_t> cut(static_cast<std::size_t>(units), 0);
+    std::vector<std::uint64_t> grow_w(static_cast<std::size_t>(units), 0);
+    std::vector<std::uint64_t> fm_a(static_cast<std::size_t>(units), 0);
+    std::vector<std::uint64_t> fm_a_seed(static_cast<std::size_t>(units), 0);
+    std::vector<std::uint64_t> fm_a_drain(static_cast<std::size_t>(units), 0);
+    std::vector<std::uint64_t> seed_tw;  // per-thread seed work (intra-FM)
+
+    auto run_unit = [&](int u, ThreadPool* fm_pool,
+                        std::vector<std::uint64_t>* fm_tw) {
+      const auto uu = static_cast<std::size_t>(u);
+      const int i = u / trials;
+      const int t = u % trials;
+      ExecNode& nd = frontier[static_cast<std::size_t>(i)];
+      if (nd.graph.num_vertices() == 0) return;
+      const PlanNode& pn = plan[static_cast<std::size_t>(nd.plan)];
+      Rng r = trial_rng(pn, t);
+      BisectionResult bis =
+          gggp_bisect(nd.graph, target0[static_cast<std::size_t>(i)], r, 1);
+      grow_w[uu] = bis.work_units;
+      cut[uu] = bis.cut;
+      if (cfg.fm_per_trial) {
+        // gggp's cut is exact and FM tracks it exactly from there, so
+        // neither end of the refinement needs an O(E) cut rescan.
+        FmStats fs = fm_refine_bisection(
+            nd.graph, bis.side, min0[static_cast<std::size_t>(i)],
+            max0[static_cast<std::size_t>(i)], cfg.fm_passes, bis.cut,
+            fm_pool, fm_tw);
+        fm_a[uu] = fs.work_units;
+        fm_a_seed[uu] = fs.seed_work;
+        fm_a_drain[uu] = fs.drain_work;
+        cut[uu] = fs.cut_after;
+      }
+      side[uu] = std::move(bis.side);
+    };
+
+    // A lone unit (the root, and any level whose siblings collapsed)
+    // cannot be split across trials or subtrees — parallelism moves
+    // inside the FM instead (parallel boundary seeding).
+    const bool intra_a = units == 1 && pool != nullptr && cfg.fm_per_trial;
+    if (intra_a) {
+      seed_tw.assign(static_cast<std::size_t>(pool->size()), 0);
+      run_unit(0, pool, &seed_tw);
+    } else if (pool && units > 1) {
+      pool->parallel_for_dynamic(
+          units, 1, [&](int, std::int64_t b, std::int64_t e) {
+            for (std::int64_t u = b; u < e; ++u) {
+              run_unit(static_cast<int>(u), nullptr, nullptr);
+            }
+          });
+    } else {
+      for (int u = 0; u < units; ++u) run_unit(u, nullptr, nullptr);
+    }
+
+    if (cfg.ledger) {
+      std::uint64_t tot_g = 0, max_g = 0, tot_u = 0, max_u = 0;
+      for (int u = 0; u < units; ++u) {
+        const auto uu = static_cast<std::size_t>(u);
+        tot_g += grow_w[uu];
+        max_g = std::max(max_g, grow_w[uu]);
+        const std::uint64_t uw = grow_w[uu] + fm_a[uu];
+        tot_u += uw;
+        max_u = std::max(max_u, uw);
+      }
+      if (intra_a) {
+        // Root-style level: serial growth, parallel FM seeding, serial
+        // FM drain — charge the three legs at their real concurrency.
+        if (tot_g) cfg.ledger->charge_serial("initpart/grow" + lvl, tot_g);
+        std::uint64_t par_seed = 0;
+        for (const auto w : seed_tw) par_seed += w;
+        if (par_seed) {
+          cfg.ledger->charge_mt_pass("initpart/fm-seed" + lvl, seed_tw);
+        }
+        const std::uint64_t resid = fm_a[0] - par_seed;
+        if (resid) {
+          cfg.ledger->charge_serial("initpart/fm-drain" + lvl, resid);
+        }
+      } else if (cfg.fm_per_trial) {
+        if (tot_u) {
+          cfg.ledger->charge_mt_dynamic_pass("initpart/trials" + lvl, tot_u,
+                                             max_u, model_threads);
+        }
+      } else if (tot_g) {
+        if (units == 1) {
+          cfg.ledger->charge_serial("initpart/grow" + lvl, tot_g);
+        } else {
+          cfg.ledger->charge_mt_dynamic_pass("initpart/grow" + lvl, tot_g,
+                                             max_g, model_threads);
+        }
+      }
+    }
+
+    // ---- Winner per node: (cut, trial-id) minimum, equivalent to the
+    // serial first-strictly-better scan regardless of execution order.
+    std::vector<int> win(static_cast<std::size_t>(nn), 0);
+    for (int i = 0; i < nn; ++i) {
+      const auto base = static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(trials);
+      std::vector<wgt_t> cuts(cut.begin() + static_cast<std::ptrdiff_t>(base),
+                              cut.begin() +
+                                  static_cast<std::ptrdiff_t>(base + trials));
+      win[static_cast<std::size_t>(i)] = initpart_select_winner(cuts);
+    }
+    if (d == 0) st.root_winner_trial = win[0];
+
+    // ---- Phase B (Metis semantics only): one FM polish per node on the
+    // winning growth.
+    std::vector<std::uint64_t> fm_b(static_cast<std::size_t>(nn), 0);
+    std::vector<std::uint64_t> fm_b_seed(static_cast<std::size_t>(nn), 0);
+    std::vector<std::uint64_t> fm_b_drain(static_cast<std::size_t>(nn), 0);
+    if (!cfg.fm_per_trial) {
+      auto run_fm = [&](int i, ThreadPool* fm_pool,
+                        std::vector<std::uint64_t>* fm_tw) {
+        const auto ii = static_cast<std::size_t>(i);
+        ExecNode& nd = frontier[ii];
+        if (nd.graph.num_vertices() == 0) return;
+        const auto w =
+            ii * static_cast<std::size_t>(trials) +
+            static_cast<std::size_t>(win[ii]);
+        FmStats fs = fm_refine_bisection(nd.graph, side[w], min0[ii],
+                                         max0[ii], cfg.fm_passes, cut[w],
+                                         fm_pool, fm_tw);
+        fm_b[ii] = fs.work_units;
+        fm_b_seed[ii] = fs.seed_work;
+        fm_b_drain[ii] = fs.drain_work;
+      };
+      const bool intra_b = nn == 1 && pool != nullptr;
+      if (intra_b) {
+        seed_tw.assign(static_cast<std::size_t>(pool->size()), 0);
+        run_fm(0, pool, &seed_tw);
+      } else if (pool && nn > 1) {
+        pool->parallel_for_dynamic(
+            nn, 1, [&](int, std::int64_t b, std::int64_t e) {
+              for (std::int64_t i = b; i < e; ++i) {
+                run_fm(static_cast<int>(i), nullptr, nullptr);
+              }
+            });
+      } else {
+        for (int i = 0; i < nn; ++i) run_fm(i, nullptr, nullptr);
+      }
+      if (cfg.ledger) {
+        if (intra_b) {
+          std::uint64_t par_seed = 0;
+          for (const auto w : seed_tw) par_seed += w;
+          if (par_seed) {
+            cfg.ledger->charge_mt_pass("initpart/fm-seed" + lvl, seed_tw);
+          }
+          const std::uint64_t resid = fm_b[0] - par_seed;
+          if (resid) {
+            cfg.ledger->charge_serial("initpart/fm-drain" + lvl, resid);
+          }
+        } else {
+          std::uint64_t tot = 0, mx = 0;
+          for (const auto w : fm_b) {
+            tot += w;
+            mx = std::max(mx, w);
+          }
+          if (tot) {
+            cfg.ledger->charge_mt_dynamic_pass("initpart/fm" + lvl, tot, mx,
+                                               model_threads);
+          }
+        }
+      }
+    }
+
+    for (int u = 0; u < units; ++u) {
+      const auto uu = static_cast<std::size_t>(u);
+      st.growth_work += grow_w[uu];
+      st.fm_seed_work += fm_a_seed[uu];
+      st.fm_drain_work += fm_a_drain[uu];
+      st.work_units += grow_w[uu] + fm_a[uu];
+    }
+    for (int i = 0; i < nn; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      st.fm_seed_work += fm_b_seed[ii];
+      st.fm_drain_work += fm_b_drain[ii];
+      st.work_units += fm_b[ii];
+    }
+
+    // ---- Split phase: cut each node's graph along the winning side and
+    // hand the halves to the next level (or label k==1 leaves).  Subtrees
+    // are disjoint, so leaf writes into p.where never collide.
+    std::vector<ExecNode> next(static_cast<std::size_t>(2 * nn));
+    std::vector<char> present(static_cast<std::size_t>(2 * nn), 0);
+    auto run_split = [&](int i) {
+      const auto ii = static_cast<std::size_t>(i);
+      ExecNode& nd = frontier[ii];
+      if (nd.graph.num_vertices() == 0) return;
+      const PlanNode& pn = plan[static_cast<std::size_t>(nd.plan)];
+      const auto& s = side[ii * static_cast<std::size_t>(trials) +
+                           static_cast<std::size_t>(win[ii])];
+      std::vector<char> mask0(s.size()), mask1(s.size());
+      for (std::size_t v = 0; v < s.size(); ++v) {
+        mask0[v] = (s[v] == 0);
+        mask1[v] = (s[v] == 1);
+      }
+      std::vector<vid_t> map0, map1;
+      CsrGraph g0 = induced_subgraph(nd.graph, mask0, &map0);
+      CsrGraph g1 = induced_subgraph(nd.graph, mask1, &map1);
+      std::vector<vid_t> ids0(static_cast<std::size_t>(g0.num_vertices()));
+      std::vector<vid_t> ids1(static_cast<std::size_t>(g1.num_vertices()));
+      for (std::size_t v = 0; v < s.size(); ++v) {
+        if (map0[v] != kInvalidVid) {
+          ids0[static_cast<std::size_t>(map0[v])] = nd.ids[v];
+        }
+        if (map1[v] != kInvalidVid) {
+          ids1[static_cast<std::size_t>(map1[v])] = nd.ids[v];
+        }
+      }
+      if (pn.left < 0) {
+        for (const vid_t id : ids0) {
+          p.where[static_cast<std::size_t>(id)] = pn.first_part;
+        }
+      } else if (g0.num_vertices() > 0) {
+        next[ii * 2] = ExecNode{pn.left, std::move(g0), std::move(ids0)};
+        present[ii * 2] = 1;
+      }
+      if (pn.right < 0) {
+        for (const vid_t id : ids1) {
+          p.where[static_cast<std::size_t>(id)] =
+              static_cast<part_t>(pn.first_part + pn.k0);
+        }
+      } else if (g1.num_vertices() > 0) {
+        next[ii * 2 + 1] = ExecNode{pn.right, std::move(g1), std::move(ids1)};
+        present[ii * 2 + 1] = 1;
+      }
+    };
+    if (pool && nn > 1) {
+      pool->parallel_for_dynamic(
+          nn, 1, [&](int, std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) {
+              run_split(static_cast<int>(i));
+            }
+          });
+    } else {
+      for (int i = 0; i < nn; ++i) run_split(i);
+    }
+
+    std::vector<ExecNode> compacted;
+    compacted.reserve(static_cast<std::size_t>(2 * nn));
+    for (std::size_t j = 0; j < next.size(); ++j) {
+      if (present[j]) compacted.push_back(std::move(next[j]));
+    }
+    frontier = std::move(compacted);
+  }
+
+  // Stream mode consumed `trials` nominal draws per internal node; leave
+  // the caller's RNG exactly past them, as the old recursion did.
+  if (cfg.seed_mode == InitSeedMode::kStream && stream_rng) {
+    advance_rng(*stream_rng,
+                static_cast<std::uint64_t>(plan.size()) *
+                    static_cast<std::uint64_t>(trials));
+  }
+  if (stats) *stats = st;
+  return p;
+}
+
+}  // namespace gp

@@ -1,0 +1,86 @@
+// Shared parallel initial-partitioning engine (DESIGN.md §3.7).
+//
+// One recursive-bisection tree implementation serves all four systems:
+// the serial Metis baseline and the ParMetis ranks consume it in
+// stream-seed mode (bit-compatible with the historical serial recursion),
+// while mt-metis and GP-metis consume it in derived-seed mode, where every
+// (subtree, trial) pair owns a hash-derived RNG.  Either way the result is
+// a pure function of (graph, config, seed): GGGP trials and disjoint
+// subtrees execute as independent pool tasks, the winner of each bisection
+// is the (cut, trial-id) minimum, and single-bisection levels fall back to
+// intra-FM parallelism (parallel boundary seeding), so partitions are
+// byte-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/csr_graph.hpp"
+#include "core/partition.hpp"
+#include "model/machine_model.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gp {
+
+/// How per-trial RNGs are derived.
+enum class InitSeedMode {
+  /// Serial-compatible: trials consume consecutive draws of the caller's
+  /// RNG stream in depth-first preorder over the bisection tree, exactly
+  /// as the historical recursive implementation did.  The caller's RNG is
+  /// advanced past the whole tree's draws on return.
+  kStream,
+  /// Thread-count-independent hashing: trial t of the bisection with
+  /// static BFS rank b seeds Rng(seed_base + b + t * 104729).  This is
+  /// what mt-metis-style drivers use; at trials == 1 it reproduces the
+  /// historical single-thread mt-metis seed sequence.
+  kDerived,
+};
+
+struct InitPartConfig {
+  part_t k = 2;
+  double eps = 0.03;   ///< final k-way imbalance budget (split per level)
+  int trials = 4;      ///< independent GGGP growths per bisection
+  int fm_passes = 8;
+  InitSeedMode seed_mode = InitSeedMode::kStream;
+  /// false: Metis semantics — the best *growth* wins, then one FM polishes
+  /// it.  true: mt-metis semantics — every trial is growth + FM and the
+  /// best *refined* cut wins.
+  bool fm_per_trial = false;
+  /// kDerived only: base value of the per-trial seed hash.
+  std::uint64_t seed_base = 0;
+  /// Execution pool; nullptr (or size 1) runs serially with identical
+  /// results.
+  ThreadPool* pool = nullptr;
+  /// When set, the engine charges its passes here under "initpart/..."
+  /// labels (growth/FM phases per tree level).  Null = caller meters via
+  /// InitPartStats.
+  CostLedger* ledger = nullptr;
+  /// Modeled thread count for ledger charges (0 = pool size, or 1).
+  int model_threads = 0;
+};
+
+struct InitPartStats {
+  std::uint64_t work_units = 0;     ///< growth + FM work over all trials
+  std::uint64_t growth_work = 0;    ///< GGGP portion of work_units
+  std::uint64_t fm_seed_work = 0;   ///< FM boundary-seeding portion
+  std::uint64_t fm_drain_work = 0;  ///< FM heap-drain portion
+  int tree_nodes = 0;               ///< internal bisection nodes executed
+  int max_depth = 0;                ///< deepest bisection level
+  int root_winner_trial = -1;       ///< winning trial index at the root
+};
+
+/// Index of the winning trial: minimum cut, ties broken by the lowest
+/// trial id — the rule that makes any-order parallel trials reproduce the
+/// serial first-strictly-better scan.
+[[nodiscard]] int initpart_select_winner(const std::vector<wgt_t>& cuts);
+
+/// Partitions g into cfg.k parts by parallel recursive bisection.
+/// `stream_rng` is required in kStream mode (and advanced past the tree's
+/// nominal draw count); ignored in kDerived mode.
+[[nodiscard]] Partition initpart_engine(const CsrGraph& g,
+                                        const InitPartConfig& cfg,
+                                        Rng* stream_rng,
+                                        InitPartStats* stats = nullptr);
+
+}  // namespace gp

@@ -1,90 +1,28 @@
 #include "serial/rb_partition.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "core/graph_ops.hpp"
-#include "serial/bisection.hpp"
+#include "serial/initpart_engine.hpp"
 
 namespace gp {
-
-namespace {
-
-struct RbCtx {
-  double eps_per_level;
-  Rng* rng;
-  RbStats* stats;
-  int gggp_trials;
-  int fm_passes;
-};
-
-// Partitions `g` into parts [first_part, first_part + k) writing into
-// `where` through `ids` (ids[v] = vertex id in the original graph).
-void rb_rec(const CsrGraph& g, const std::vector<vid_t>& ids, part_t k,
-            part_t first_part, std::vector<part_t>& where, const RbCtx& ctx) {
-  if (k == 1 || g.num_vertices() == 0) {
-    for (const vid_t id : ids) where[static_cast<std::size_t>(id)] = first_part;
-    return;
-  }
-  const part_t k0 = (k + 1) / 2;  // left branch takes ceil(k/2) parts
-  const wgt_t total = g.total_vertex_weight();
-  const wgt_t target0 = static_cast<wgt_t>(
-      std::llround(static_cast<double>(total) * static_cast<double>(k0) /
-                   static_cast<double>(k)));
-
-  auto bis = gggp_bisect(g, target0, *ctx.rng, ctx.gggp_trials);
-  if (ctx.stats) ctx.stats->work_units += bis.work_units;
-
-  const wgt_t slack = std::max<wgt_t>(
-      1, static_cast<wgt_t>(std::floor(static_cast<double>(target0) *
-                                       ctx.eps_per_level)));
-  // Neither side may be refined below the weight its part count needs
-  // (k0 parts need at least k0 unit-weight vertices; for weighted graphs
-  // this is the natural heuristic floor).
-  const wgt_t min0 = std::max<wgt_t>(k0, target0 - slack);
-  const wgt_t max0 =
-      std::min<wgt_t>(total - (k - k0), target0 + slack);
-  auto fm = fm_refine_bisection(g, bis.side, min0, max0, ctx.fm_passes,
-                                bis.cut);
-  if (ctx.stats) ctx.stats->work_units += fm.work_units;
-
-  // Split into the two induced subgraphs and recurse.
-  std::vector<char> mask0(bis.side.size()), mask1(bis.side.size());
-  for (std::size_t v = 0; v < bis.side.size(); ++v) {
-    mask0[v] = (bis.side[v] == 0);
-    mask1[v] = (bis.side[v] == 1);
-  }
-  std::vector<vid_t> map0, map1;
-  const CsrGraph g0 = induced_subgraph(g, mask0, &map0);
-  const CsrGraph g1 = induced_subgraph(g, mask1, &map1);
-  std::vector<vid_t> ids0(static_cast<std::size_t>(g0.num_vertices()));
-  std::vector<vid_t> ids1(static_cast<std::size_t>(g1.num_vertices()));
-  for (std::size_t v = 0; v < bis.side.size(); ++v) {
-    if (map0[v] != kInvalidVid) ids0[static_cast<std::size_t>(map0[v])] = ids[v];
-    if (map1[v] != kInvalidVid) ids1[static_cast<std::size_t>(map1[v])] = ids[v];
-  }
-  rb_rec(g0, ids0, k0, first_part, where, ctx);
-  rb_rec(g1, ids1, k - k0, first_part + k0, where, ctx);
-}
-
-}  // namespace
 
 Partition recursive_bisection(const CsrGraph& g, part_t k, double eps,
                               Rng& rng, RbStats* stats, int gggp_trials,
                               int fm_passes) {
-  Partition p;
-  p.k = k;
-  p.where.assign(static_cast<std::size_t>(g.num_vertices()), 0);
-  if (k <= 1 || g.num_vertices() == 0) return p;
-
-  // Tolerance budget: log2(k) nested bisections share eps.
-  const int depth = std::max(1, static_cast<int>(std::ceil(std::log2(k))));
-  RbCtx ctx{eps / static_cast<double>(depth), &rng, stats, gggp_trials,
-            fm_passes};
-
-  std::vector<vid_t> ids(static_cast<std::size_t>(g.num_vertices()));
-  for (vid_t v = 0; v < g.num_vertices(); ++v) ids[static_cast<std::size_t>(v)] = v;
-  rb_rec(g, ids, k, 0, p.where, ctx);
+  // Thin wrapper over the shared engine in stream-seed mode: trials
+  // consume the caller's RNG stream in preorder, GGGP picks the best
+  // growth, one FM polishes it — byte-compatible with the historical
+  // depth-first recursion.  No pool: the serial baseline's wall clock
+  // stays honest, and ParMetis ranks (which also land here) already run
+  // concurrently on the comm layer's pool, so nesting would deadlock.
+  InitPartConfig cfg;
+  cfg.k = k;
+  cfg.eps = eps;
+  cfg.trials = gggp_trials;
+  cfg.fm_passes = fm_passes;
+  cfg.seed_mode = InitSeedMode::kStream;
+  cfg.fm_per_trial = false;
+  InitPartStats st;
+  Partition p = initpart_engine(g, cfg, &rng, &st);
+  if (stats) stats->work_units += st.work_units;
   return p;
 }
 

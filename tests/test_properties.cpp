@@ -163,6 +163,41 @@ TEST(Properties, RefinementCutAccountingConsistent) {
   }
 }
 
+TEST(Properties, OddKRecursiveBisectionSplitsPerMetisRule) {
+  // Non-power-of-two k: every bisection node splits its k' parts as
+  // k0 = ceil(k'/2) to the left and k' - k0 to the right, targeting
+  // total * k0 / k' vertex weight on the left (Metis' k-odd rule).  The
+  // result must have exactly k non-empty parts, with the left half's
+  // aggregate weight on target within the level-tightened eps window.
+  const double eps = 0.03;
+  for (const part_t k : {3, 5, 6, 7, 12}) {
+    for (const std::uint64_t seed : {1ULL, 4ULL}) {
+      const CsrGraph g = delaunay_graph(2500, seed);
+      Rng rng(seed * 13 + static_cast<std::uint64_t>(k));
+      const Partition p = recursive_bisection(g, k, eps, rng);
+      ASSERT_EQ(p.k, k);
+      EXPECT_TRUE(validate_partition(g, p).empty()) << "k=" << k;
+
+      const auto weights = partition_weights(g, p);
+      ASSERT_EQ(weights.size(), static_cast<std::size_t>(k));
+      for (part_t i = 0; i < k; ++i) {
+        EXPECT_GT(weights[static_cast<std::size_t>(i)], 0)
+            << "empty part " << i << " at k=" << k;
+      }
+
+      // Root split: parts [0, k0) came from the left subtree.
+      const part_t k0 = (k + 1) / 2;
+      wgt_t left = 0;
+      for (part_t i = 0; i < k0; ++i) left += weights[static_cast<std::size_t>(i)];
+      const wgt_t total = g.total_vertex_weight();
+      const double target = static_cast<double>(total) * k0 / k;
+      EXPECT_NEAR(static_cast<double>(left), target,
+                  static_cast<double>(total) * eps + k)
+          << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
 TEST(Properties, SeedChangesResultButNotValidity) {
   const auto g = delaunay_graph(3000, 1);
   PartitionOptions a, b;

@@ -45,7 +45,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: gpmetis <graph-file> <k> [--system NAME] [--eps F] "
-               "[--seed N] [--threads N] [--ranks N] [--devices N] "
+               "[--seed N] [--threads N] [--init-trials N] [--ranks N] "
+               "[--devices N] "
                "[--dimacs] [--out PATH] [--fault-spec S] [--fault-seed N] "
                "[--audit off|phase|paranoid] [--time-budget SECONDS] "
                "[--verbose]\n");
@@ -75,6 +76,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--eps")) opts.eps = std::atof(next());
     else if (!std::strcmp(argv[i], "--seed")) opts.seed = static_cast<std::uint64_t>(std::atoll(next()));
     else if (!std::strcmp(argv[i], "--threads")) opts.threads = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--init-trials")) opts.init_trials = std::atoi(next());
     else if (!std::strcmp(argv[i], "--ranks")) opts.ranks = std::atoi(next());
     else if (!std::strcmp(argv[i], "--devices")) opts.gpu_devices = std::atoi(next());
     else if (!std::strcmp(argv[i], "--dimacs")) dimacs = true;
