@@ -12,6 +12,7 @@
 #include "core/csr_graph.hpp"
 #include "core/partition.hpp"
 #include "model/machine_model.hpp"
+#include "util/cancel.hpp"
 #include "util/fault.hpp"
 #include "util/types.hpp"
 
@@ -95,6 +96,13 @@ struct PartitionOptions {
   /// passes and finish degraded rather than overrun.  0 = no deadline.
   double time_budget_seconds = 0.0;
 
+  // --- cooperative cancellation (src/util/cancel.hpp, DESIGN.md §3.8) ---
+  /// Non-owning cancellation token, observed at V-cycle phase boundaries
+  /// by every driver (and between pool jobs by ThreadPool).  When set and
+  /// cancelled, the run throws CancelledError; the caller owns the token's
+  /// lifetime for the whole run.  nullptr (default) = not cancellable.
+  const CancelToken* cancel = nullptr;
+
   /// Builds the injector for this run, or nullptr when fault_spec is
   /// empty (implemented in partitioner.cpp).
   [[nodiscard]] std::unique_ptr<FaultInjector> make_fault_injector() const;
@@ -166,6 +174,13 @@ struct PartitionResult {
 /// k >= 1, k <= number of vertices (unless the graph is empty and k == 1),
 /// eps in [0, 1), threads/ranks >= 1.  Throws std::invalid_argument.
 void validate_options(const CsrGraph& g, const PartitionOptions& opts);
+
+/// Cooperative cancellation check at a V-cycle phase boundary: throws
+/// CancelledError when the run's token (if any) has been cancelled.
+/// `where` names the boundary for the error message / event trail.
+inline void check_cancelled(const PartitionOptions& opts, const char* where) {
+  if (opts.cancel && opts.cancel->cancelled()) throw CancelledError(where);
+}
 
 /// Abstract partitioner, for code that compares all four systems.
 class Partitioner {

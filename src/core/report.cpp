@@ -129,4 +129,32 @@ std::string format_health(const RunHealth& h) {
   return os.str();
 }
 
+std::string format_service_stats(const ServiceStats& s) {
+  std::ostringstream os;
+  char buf[240];
+  std::snprintf(
+      buf, sizeof(buf),
+      "service: submitted %llu | accepted %llu | shed %llu "
+      "(queue-full %llu, cost-budget %llu, shutdown %llu)\n",
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.shed_total()),
+      static_cast<unsigned long long>(s.shed_queue_full),
+      static_cast<unsigned long long>(s.shed_cost_budget),
+      static_cast<unsigned long long>(s.shed_shutdown));
+  os << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "         completed %llu (degraded %llu) | deadline misses %llu | "
+      "retries %llu | cancelled %llu | failed %llu\n",
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.completed_degraded),
+      static_cast<unsigned long long>(s.deadline_misses),
+      static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.failed));
+  os << buf;
+  return os.str();
+}
+
 }  // namespace gp

@@ -7,6 +7,7 @@
 #include "core/csr_graph.hpp"
 #include "core/partition.hpp"
 #include "core/partitioner.hpp"
+#include "service/request.hpp"
 
 namespace gp {
 
@@ -41,5 +42,10 @@ struct PartitionReport {
 /// Multi-line rendering of a run's health record: fault/retry/fallback
 /// tallies plus the ordered event trail.  Healthy runs render one line.
 [[nodiscard]] std::string format_health(const RunHealth& h);
+
+/// Multi-line rendering of a service engine's lifetime counters —
+/// admission/shed split, completion health, retry and deadline tallies
+/// (printed by `gpmetis --serve` and bench_service).
+[[nodiscard]] std::string format_service_stats(const ServiceStats& s);
 
 }  // namespace gp

@@ -143,11 +143,13 @@ void* Device::pool_acquire(std::size_t bytes) {
   }
   // Fresh-allocation semantics: callers see zeroed memory either way.
   std::memset(p, 0, bytes);
+  ++pool_outstanding_;
   return p;
 }
 
 void Device::pool_release(void* p, std::size_t bytes) noexcept {
   if (!p) return;
+  --pool_outstanding_;
   const int b = pool_bucket(bytes);
   if (static_cast<std::size_t>(b) >= pool_free_.size()) {
     pool_free_.resize(static_cast<std::size_t>(b) + 1);

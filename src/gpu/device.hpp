@@ -92,6 +92,13 @@ class Device {
     return injector_ != nullptr;
   }
 
+  /// Forwards a cancellation token to the device's host worker pool: a
+  /// cancelled run stops before the next kernel launch (jobs are atomic
+  /// w.r.t. cancellation; see util/cancel.hpp).  nullptr detaches.
+  void set_cancel_token(const CancelToken* token) {
+    pool_.set_cancel_token(token);
+  }
+
   /// Silent-corruption hook (DESIGN.md §3.5): when the fault plan carries
   /// a `flip` rule for this transfer occurrence, flips one bit of the
   /// payload at a (seed, occurrence)-determined position.  Called by
@@ -253,6 +260,12 @@ class Device {
   [[nodiscard]] std::uint64_t pool_recycled_bytes() const {
     return pool_recycled_bytes_;
   }
+  /// Blocks acquired and not yet released.  Must drop back to zero once
+  /// every DeviceBuffer is destroyed — including along exception paths
+  /// (audit rollbacks, injected faults mid-kernel); tests assert it.
+  [[nodiscard]] std::int64_t pool_outstanding_blocks() const {
+    return pool_outstanding_;
+  }
 
   /// Resets transfer/kernel counters (not allocations, not pool stats).
   void reset_counters();
@@ -298,6 +311,7 @@ class Device {
   std::uint64_t pool_hits_ = 0;
   std::uint64_t pool_misses_ = 0;
   std::uint64_t pool_recycled_bytes_ = 0;
+  std::int64_t  pool_outstanding_ = 0;
 };
 
 }  // namespace gp

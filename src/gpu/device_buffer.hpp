@@ -36,7 +36,15 @@ class DeviceBuffer {
   DeviceBuffer(Device& dev, std::size_t n, std::string label = "buf")
       : dev_(&dev), label_(std::move(label)), n_(n) {
     dev_->on_alloc(n * sizeof(T));  // capacity check / fault site first
-    data_ = static_cast<T*>(dev_->pool_acquire(n * sizeof(T)));
+    try {
+      data_ = static_cast<T*>(dev_->pool_acquire(n * sizeof(T)));
+    } catch (...) {
+      // A throwing constructor runs no destructor: roll the capacity
+      // accounting back here or the charge leaks for the device's
+      // lifetime (and every later capacity check over-rejects).
+      dev_->on_free(n * sizeof(T));
+      throw;
+    }
   }
 
   ~DeviceBuffer() { release(); }

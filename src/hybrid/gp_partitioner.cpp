@@ -74,6 +74,7 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   Device dev(dev_config);
   dev.set_ledger(&res.ledger);
   dev.set_fault_injector(injector, 0);
+  dev.set_cancel_token(opts.cancel);
 
   const AuditLevel audit = opts.audit_level;
 
@@ -121,6 +122,7 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   std::uint64_t total_conflicts = 0;
   std::int64_t launch_threads = opts.gpu_threads;
   while (cur->n > handoff) {
+    check_cancelled(opts, "gp/gpu-coarsen");
     auto m = gpu_match(dev, *cur, lvl, opts.seed, launch_threads);
     total_conflicts += m.conflicts;
     if (static_cast<double>(m.n_coarse) >
@@ -203,7 +205,9 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
     }
     if (!record_audit(res, f)) throw AuditError(std::move(f));
   }
+  check_cancelled(opts, "gp/cpu-middle");
   ThreadPool pool(opts.threads);
+  pool.set_cancel_token(opts.cancel);
   MtContext mt_ctx{&pool, &res.ledger, opts.seed};
   PartitionOptions cpu_opts = opts;
   const MtPipelineControl mt_control{injector, &res.health, &watchdog};
@@ -248,6 +252,7 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
 
   bool shed_noted = false;
   for (std::size_t i = gpu_levels.size(); i-- > 0;) {
+    check_cancelled(opts, "gp/gpu-uncoarsen");
     const vid_t fine_n = gpu_levels[i].fine_n;
     const GpuGraph& fine = (i == 0) ? g0 : gpu_levels[i - 1].graph;
     DeviceBuffer<part_t> where_fine(
@@ -333,6 +338,7 @@ void pure_cpu_fallback(const CsrGraph& g, const PartitionOptions& opts,
                        GpPhaseLog* log, const MtPipelineControl& control,
                        PartitionResult& res) {
   ThreadPool pool(opts.threads);
+  pool.set_cancel_token(opts.cancel);
   MtContext ctx{&pool, &res.ledger, opts.seed};
   auto out = mt_multilevel_pipeline(g, opts, ctx, 0, control);
   res.partition = std::move(out.partition);

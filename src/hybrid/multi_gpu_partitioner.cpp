@@ -165,6 +165,7 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
     devices.back()->set_ledger(&dev_ledgers[static_cast<std::size_t>(d)]);
     devices.back()->set_fault_injector(injector,
                                        phys[static_cast<std::size_t>(d)]);
+    devices.back()->set_cancel_token(opts.cancel);
   }
 
   // ---- initial block split + shard upload ----
@@ -243,6 +244,7 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
   int lvl = 0;
   std::int64_t launch_threads = opts.gpu_threads;
   while (true) {
+    check_cancelled(opts, "multi/gpu-coarsen");
     ShardLevel& cur = levels.back();
     vid_t total_n = 0;
     for (const auto& s : cur.shards) total_n += s.local_n();
@@ -722,7 +724,9 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
                                 std::to_string(g.total_vertex_weight())));
   }
 
+  check_cancelled(opts, "multi/cpu-middle");
   ThreadPool pool(opts.threads);
+  pool.set_cancel_token(opts.cancel);
   MtContext mt_ctx{&pool, &res.ledger, opts.seed};
   const MtPipelineControl mt_control{injector, &res.health, &watchdog};
   const auto mt_out =
@@ -736,6 +740,7 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
   std::uint64_t replay_moves = 0;
 
   for (int i = gpu_lvls - 1; i >= 0; --i) {
+    check_cancelled(opts, "multi/gpu-uncoarsen");
     const ShardLevel& fine_level = levels[static_cast<std::size_t>(i)];
     const std::string L = "/L" + std::to_string(i);
 
@@ -1023,6 +1028,7 @@ PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
     if (log) *log = MultiGpuLog{};
     try {
       ThreadPool pool(opts.threads);
+      pool.set_cancel_token(opts.cancel);
       MtContext ctx{&pool, &res.ledger, opts.seed};
       const MtPipelineControl control{injector.get(), &res.health, &watchdog};
       auto out = mt_multilevel_pipeline(g, opts, ctx, 0, control);

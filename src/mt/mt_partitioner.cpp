@@ -120,6 +120,7 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
   const CsrGraph* cur = &g;
   int lvl = level_offset;
   while (cur->num_vertices() > target) {
+    check_cancelled(opts, "mt/coarsen");
     MatchResult m = mt_match(*cur, ctx, lvl);
     if (static_cast<double>(m.n_coarse) >
         opts.min_shrink * static_cast<double>(cur->num_vertices())) {
@@ -181,6 +182,7 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
   out.levels = static_cast<int>(levels.size());
   out.coarsest_vertices = cur->num_vertices();
 
+  check_cancelled(opts, "mt/initpart");
   Partition p =
       mt_initial_partition(*cur, opts.k, opts.eps, ctx, opts.init_trials);
   if (audit != AuditLevel::kOff) {
@@ -191,6 +193,7 @@ MtPipelineResult mt_multilevel_pipeline(const CsrGraph& g,
   guarded_refine(*cur, p, lvl);
 
   for (std::size_t i = levels.size(); i-- > 0;) {
+    check_cancelled(opts, "mt/uncoarsen");
     const CsrGraph& fine = (i == 0) ? g : levels[i - 1].graph;
     // Parallel projection.
     std::vector<part_t> fine_where(
@@ -253,6 +256,7 @@ PartitionResult MtMetisPartitioner::run(const CsrGraph& g,
   WallTimer wall;
   PartitionResult res;
   ThreadPool pool(opts.threads);
+  pool.set_cancel_token(opts.cancel);
   MtContext ctx{&pool, &res.ledger, opts.seed};
 
   auto injector = opts.make_fault_injector();

@@ -179,6 +179,7 @@ void parmetis_attempt(const CsrGraph& g, const PartitionOptions& opts,
 
   // =========================== Coarsening ===========================
   while (cur->num_vertices() > distributed_target) {
+    check_cancelled(opts, "par/coarsen");
     const vid_t n = cur->num_vertices();
     const std::string L = "/L" + std::to_string(lvl);
     std::vector<vid_t> match(static_cast<std::size_t>(n), kInvalidVid);
@@ -612,6 +613,7 @@ void parmetis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   // finishes the remaining coarsening levels serially on its replica —
   // the broadcast happens earlier on a larger graph, but all remaining
   // ghost-exchange and match-request rounds disappear.
+  check_cancelled(opts, "par/initpart");
   {
     const std::uint64_t graph_bytes = cur->memory_bytes();
     res.ledger.charge_messages("comm/initpart/broadcast",
@@ -708,6 +710,7 @@ void parmetis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   bool cache_valid = false;
 
   for (std::size_t i = levels.size() + 1; i-- > 0;) {
+    check_cancelled(opts, "par/uncoarsen");
     // Level i refines the graph whose coarse version is levels[i]; the
     // extra first iteration (i == levels.size()) refines the coarsest.
     const CsrGraph& fine =
@@ -891,6 +894,7 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
   PartitionResult res;
   const int P = std::max(1, opts.ranks);
   ThreadPool pool(P);
+  pool.set_cancel_token(opts.cancel);
   SimComm comm(P, pool, &res.ledger);
   const std::unique_ptr<FaultInjector> injector = opts.make_fault_injector();
   comm.set_fault_injector(injector.get());

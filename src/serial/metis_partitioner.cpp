@@ -115,6 +115,7 @@ void serial_attempt(const CsrGraph& g, const PartitionOptions& opts,
   const CsrGraph* cur = &g;
   res.levels.push_back({g.num_vertices(), g.num_edges()});
   while (cur->num_vertices() > target) {
+    check_cancelled(opts, "serial/coarsen");
     SerialMatchStats mstats;
     MatchResult m = hem_match_serial(*cur, rng, &mstats);
     if (static_cast<double>(m.n_coarse) >
@@ -169,6 +170,7 @@ void serial_attempt(const CsrGraph& g, const PartitionOptions& opts,
   res.coarsest_vertices = cur->num_vertices();
 
   // --- Initial partitioning ---
+  check_cancelled(opts, "serial/initpart");
   RbStats rb_stats;
   Partition p = recursive_bisection(*cur, opts.k, opts.eps, rng, &rb_stats);
   res.ledger.charge_serial("initpart/rb", rb_stats.work_units);
@@ -183,6 +185,7 @@ void serial_attempt(const CsrGraph& g, const PartitionOptions& opts,
 
   // --- Uncoarsening ---
   for (std::size_t i = levels.size(); i-- > 0;) {
+    check_cancelled(opts, "serial/uncoarsen");
     const CsrGraph& fine = (i == 0) ? g : levels[i - 1].graph;
     p.where = project_partition(levels[i].cmap, p.where);
     res.ledger.charge_serial(

@@ -1,0 +1,143 @@
+// Batched partition-request engine (DESIGN.md §3.8).
+//
+// ServiceEngine wires the admission queue, the retry policy, and the five
+// partitioner drivers into a long-running service with four structural
+// guarantees:
+//
+//   1. Bounded admission — overload sheds requests with machine-readable
+//      reasons instead of queueing without bound (queue.hpp).
+//   2. Bounded latency — a per-request deadline becomes the run's
+//      time_budget_seconds at dequeue, so the existing Watchdog sheds
+//      optional work at phase boundaries and a deadline-exceeded request
+//      returns a *valid* best-so-far partition with degraded RunHealth,
+//      never a hang.
+//   3. Cooperative cancellation — the ticket's CancelToken is observed at
+//      driver phase boundaries and at ThreadPool job dispatch; a
+//      cancelled run unwinds as CancelledError with no dangling pool
+//      tasks (pool jobs are atomic: cancellation lands between jobs).
+//   4. Fault convergence — attempts that terminated on injected faults or
+//      failed audits retry with deterministic backoff down the
+//      degradation ladder, bottoming out at fault-free serial METIS
+//      (retry.hpp).
+//
+// Two execution modes share one code path:
+//   workers >= 1 — a thread-per-worker service loop (the real service and
+//                  the closed-loop bench);
+//   workers == 0 — synchronous: nothing runs until the caller ticks
+//                  run_one(), giving bit-reproducible accept/shed/retry
+//                  traces for tests and the open-loop bench.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/queue.hpp"
+#include "service/request.hpp"
+#include "service/retry.hpp"
+#include "util/cancel.hpp"
+
+namespace gp {
+
+struct ServiceConfig {
+  /// Executor threads; 0 = synchronous mode (caller drives run_one()).
+  int workers = 2;
+  std::size_t queue_depth = 64;
+  double cost_budget_seconds = 1e18;
+  RetryPolicy retry;
+  /// Applied when submit() is called without an explicit deadline;
+  /// 0 = no deadline.
+  double default_deadline_seconds = 0.0;
+  /// Actually sleep during retry backoff (true for the live service);
+  /// false models the delay in the outcome without burning wall time —
+  /// what tests and benches want.
+  bool sleep_on_backoff = false;
+  /// Engine seed, mixed into the deterministic backoff jitter.
+  std::uint64_t seed = 1;
+};
+
+/// Throws std::invalid_argument on nonsensical settings (negative worker
+/// count, zero queue depth, retry policy that cannot make progress, ...).
+void validate_service_config(const ServiceConfig& cfg);
+
+/// Maps a system name ("metis", "mt-metis", "parmetis", "gp-metis",
+/// "gp-metis-multi") to its factory.  Throws std::invalid_argument on an
+/// unknown name.
+std::unique_ptr<Partitioner> make_partitioner_by_name(
+    const std::string& system);
+
+/// Caller-side handle to one submitted request: a future for the
+/// RequestOutcome plus the cancellation lever.  Tickets are shared
+/// pointers so the caller may drop theirs before completion.
+class RequestTicket {
+ public:
+  /// Blocks until the request reaches a terminal state.
+  RequestOutcome wait();
+  [[nodiscard]] bool done() const;
+  /// Requests cooperative cancellation.  Queued requests finalize as
+  /// kCancelled at dequeue; running requests unwind at the next phase
+  /// boundary or pool-job dispatch.
+  void cancel();
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  friend class ServiceEngine;
+  std::uint64_t id_ = 0;
+  std::chrono::steady_clock::time_point submit_time_{};
+  CancelToken cancel_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  RequestOutcome outcome_;
+};
+
+class ServiceEngine {
+ public:
+  explicit ServiceEngine(ServiceConfig cfg);
+  /// Sheds everything still queued, finishes in-flight work, joins.
+  ~ServiceEngine();
+
+  ServiceEngine(const ServiceEngine&) = delete;
+  ServiceEngine& operator=(const ServiceEngine&) = delete;
+
+  /// Submits one request.  The graph must outlive the ticket's terminal
+  /// state.  deadline_seconds < 0 = use the config default; 0 = none.
+  /// Always returns a ticket — a shed request's ticket is already done,
+  /// with state kShed and a machine-readable shed_reason.
+  std::shared_ptr<RequestTicket> submit(const CsrGraph& graph,
+                                        const PartitionOptions& opts,
+                                        Priority priority = Priority::kNormal,
+                                        double deadline_seconds = -1.0,
+                                        std::string system = "gp-metis");
+
+  /// Synchronous mode: executes the highest-priority queued request on
+  /// the calling thread.  Returns false when the queue is empty.
+  bool run_one();
+
+  /// Stops admission.  drain=true executes everything still queued
+  /// (on the workers, or inline in synchronous mode); drain=false sheds
+  /// it with reason "shutdown".  Idempotent.
+  void shutdown(bool drain);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  void worker_loop();
+  void execute(AdmissionQueue::Entry entry);
+  void finalize(RequestTicket& ticket, RequestOutcome outcome);
+
+  ServiceConfig cfg_;
+  AdmissionQueue queue_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  std::uint64_t next_id_ = 1;
+  bool stopped_ = false;
+};
+
+}  // namespace gp

@@ -1,0 +1,50 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gp {
+
+namespace {
+
+/// splitmix64 — the standard 64-bit finalizer; full avalanche, so nearby
+/// (seed, id, attempt) triples produce uncorrelated jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double RetryPolicy::backoff_seconds(std::uint64_t request_id, int attempt,
+                                    std::uint64_t seed) const {
+  const int n = std::max(1, attempt);
+  double d = base_backoff_seconds *
+             std::pow(backoff_multiplier, static_cast<double>(n - 1));
+  d = std::min(d, max_backoff_seconds);
+  if (jitter > 0.0) {
+    const std::uint64_t h = mix64(mix64(mix64(seed) ^ request_id) ^
+                                  static_cast<std::uint64_t>(n));
+    // 53 high bits -> uniform double in [0, 1).
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    d *= 1.0 + jitter * (u - 0.5);
+  }
+  return d;
+}
+
+std::vector<LadderRung> degradation_ladder(
+    const std::string& requested_system) {
+  std::vector<LadderRung> ladder;
+  ladder.push_back({requested_system, false});
+  if (requested_system != "mt-metis" && requested_system != "metis") {
+    ladder.push_back({"mt-metis", false});
+  }
+  // Terminal rung: serial, no injector — cannot fault, cannot miss an
+  // audit, so the ladder always bottoms out in a healthy run.
+  ladder.push_back({"metis", true});
+  return ladder;
+}
+
+}  // namespace gp

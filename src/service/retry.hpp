@@ -1,0 +1,56 @@
+// Retry policy and degradation ladder for the service engine
+// (DESIGN.md §3.8).
+//
+// A request whose attempt terminated on an injected fault or a failed
+// audit is retried with exponential backoff and *deterministic* jitter:
+// the jitter factor is a pure hash of (engine seed, request id, attempt),
+// so a replayed trace backs off by byte-identical amounts — the property
+// the differential harness and test_service lean on.  Retries escalate
+// down the PR-3 reliability ladder: the requested system first, then the
+// CPU-parallel fallback, then serial METIS with fault injection cleared,
+// which converges by construction (the serial driver with no injector
+// has no failure modes left to hit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gp {
+
+struct RetryPolicy {
+  /// Total partitioner runs a request may consume (first try included).
+  int max_attempts = 3;
+  double base_backoff_seconds = 0.01;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+  /// Jitter fraction j: the backoff is scaled by a deterministic factor
+  /// in [1 - j/2, 1 + j/2].  0 disables jitter.
+  double jitter = 0.5;
+  /// Retry attempts that returned a *valid but degraded* partition where
+  /// the degradation traces to faults/audits (not to the watchdog —
+  /// retrying a deadline shed would just miss harder).
+  bool retry_degraded = true;
+
+  /// Modeled backoff before attempt `attempt` (1-based: the delay charged
+  /// after attempt N fails and before attempt N+1 runs is
+  /// backoff_seconds(id, N, seed)).  Deterministic in all arguments.
+  [[nodiscard]] double backoff_seconds(std::uint64_t request_id, int attempt,
+                                       std::uint64_t seed) const;
+};
+
+/// One rung of the degradation ladder: which partitioner to run and
+/// whether to strip fault injection from the options first.
+struct LadderRung {
+  std::string system;
+  bool clear_faults = false;
+};
+
+/// Ladder for a request that asked for `requested_system`:
+/// requested -> mt-metis (if different) -> metis with faults cleared.
+/// The final rung is always fault-free serial METIS, so a request with
+/// enough attempts left always converges to a healthy partition.
+[[nodiscard]] std::vector<LadderRung> degradation_ladder(
+    const std::string& requested_system);
+
+}  // namespace gp

@@ -1,0 +1,54 @@
+// Cooperative cancellation for long-running partition jobs (DESIGN.md
+// §3.8).
+//
+// A CancelToken is a shared flag between a requester (the service engine,
+// a CLI signal handler, a test) and the code doing the work.  Cancellation
+// is *cooperative*: nothing is interrupted mid-kernel.  The flag is
+// observed at two granularities:
+//
+//   * ThreadPool::dispatch checks it before publishing a new job, so a
+//     cancelled run stops between kernels/passes without ever leaving a
+//     partially-executed parallel region behind (a job either runs to
+//     completion or is never started — the invariants of the artifacts a
+//     pass produces are preserved either way);
+//   * the five drivers check it at V-cycle phase boundaries
+//     (check_cancelled in core/partitioner.hpp), which bounds the
+//     cancellation latency even for serial phases that never dispatch.
+//
+// Both sites throw CancelledError; the stack unwinds through ordinary
+// RAII (device buffers return to their pool, worker pools join), and the
+// service engine maps the exception to a kCancelled outcome.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace gp {
+
+class CancelToken {
+ public:
+  /// Requests cancellation.  Idempotent, callable from any thread.
+  void cancel() { flag_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arms a token for reuse across requests (single-owner phases only).
+  void reset() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Thrown at a cancellation check point once the token is set.  Never
+/// caught inside the partitioners (their recovery ladders catch specific
+/// fault/audit types only), so it always reaches the caller that owns the
+/// request.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& where)
+      : std::runtime_error("cancelled: " + where) {}
+};
+
+}  // namespace gp

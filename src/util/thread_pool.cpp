@@ -84,7 +84,14 @@ void ThreadPool::worker_loop(int id) {
     seen = jw >> 16;
     // --- execute this worker's slot, if the job includes it ---
     if (id < static_cast<int>(jw & 0xffff)) {
-      invoke_(ctx_, id);
+      try {
+        invoke_(ctx_, id);
+      } catch (...) {
+        // A throwing task must not wedge the barrier: record the error
+        // for the dispatcher and fall through to the normal completion
+        // protocol so the generation word keeps advancing.
+        record_job_error(std::current_exception());
+      }
       if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last finisher: the dispatcher may have parked.  Taking the lock
         // (even when nobody waits) closes the missed-wakeup window — the
@@ -97,18 +104,31 @@ void ThreadPool::worker_loop(int id) {
   }
 }
 
+void ThreadPool::record_job_error(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(err_mutex_);
+  if (!job_error_) job_error_ = std::move(e);
+}
+
 void ThreadPool::dispatch(int n_slots, void (*invoke)(void*, int),
                           void* ctx) {
   assert(n_slots >= 1 && n_slots <= size());
+  // Cooperative cancellation boundary: a cancelled run stops *between*
+  // jobs, never inside one, so every artifact a completed pass produced
+  // is intact when the stack unwinds.
+  if (const CancelToken* tok = cancel_.load(std::memory_order_acquire);
+      tok && tok->cancelled()) {
+    throw CancelledError("pool job before dispatch");
+  }
   dispatches_.fetch_add(1, std::memory_order_relaxed);
   if (n_slots == 1) {
     // Single-slot jobs (tiny kernels, one-thread pools) run inline: no
     // concurrency is possible with one executor, so no synchronization is
-    // owed either.
+    // owed either (a thrown exception propagates directly).
     invoke(ctx, 0);
     return;
   }
   const int n_workers = n_slots - 1;  // the caller runs slot n_slots-1
+  job_error_ = nullptr;  // previous job fully joined; no concurrent access
   invoke_ = invoke;
   ctx_ = ctx;
   remaining_.store(n_workers, std::memory_order_relaxed);
@@ -127,7 +147,14 @@ void ThreadPool::dispatch(int n_slots, void (*invoke)(void*, int),
     }
   }
 
-  invoke(ctx, n_slots - 1);  // caller's slot
+  try {
+    invoke(ctx, n_slots - 1);  // caller's slot
+  } catch (...) {
+    // The caller's slot failed, but the workers still hold pointers into
+    // this job's context: record the error and fall through to the join
+    // barrier before letting anything unwind.
+    record_job_error(std::current_exception());
+  }
 
   // --- join: spin, then park on done_cv_ ---
   int spins = 0;
@@ -144,6 +171,15 @@ void ThreadPool::dispatch(int n_slots, void (*invoke)(void*, int),
       });
       break;
     }
+  }
+
+  // Every slot finished (job fully joined): safe to surface the job's
+  // first failure to the dispatcher's caller.  No lock needed — workers
+  // only touch job_error_ while remaining_ > 0.
+  if (job_error_) {
+    std::exception_ptr e = std::move(job_error_);
+    job_error_ = nullptr;
+    std::rethrow_exception(e);
   }
 }
 

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -35,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/types.hpp"
 
 namespace gp {
@@ -121,6 +123,18 @@ class ThreadPool {
     return dispatches_.load(std::memory_order_relaxed);
   }
 
+  /// Job-level cancellation (DESIGN.md §3.8): once `token` is set and
+  /// cancelled, dispatch() throws CancelledError *before* publishing the
+  /// next job.  Jobs are atomic with respect to cancellation — a parallel
+  /// pass either runs to completion or never starts, so no caller ever
+  /// observes a partially-executed region.  nullptr detaches (default).
+  void set_cancel_token(const CancelToken* token) {
+    cancel_.store(token, std::memory_order_release);
+  }
+  [[nodiscard]] const CancelToken* cancel_token() const {
+    return cancel_.load(std::memory_order_acquire);
+  }
+
  private:
   template <typename F>
   static void trampoline(void* ctx, int id) {
@@ -130,9 +144,20 @@ class ThreadPool {
   /// Publishes (invoke, ctx) to `n_slots` executors: workers 0..n_slots-2
   /// run slots equal to their worker id, the caller runs slot n_slots-1.
   /// Blocks until every slot has finished.  n_slots == 1 runs inline.
+  ///
+  /// Exception safety: a slot body that throws (on a worker or on the
+  /// caller) is caught at the executor boundary and recorded first-wins;
+  /// every other slot still runs to completion, the barrier generation
+  /// word advances normally, and dispatch rethrows the recorded exception
+  /// to its caller once the job has fully joined.  The pool stays usable.
   void dispatch(int n_slots, void (*invoke)(void*, int), void* ctx);
 
   void worker_loop(int id);
+
+  /// Records the job's first exception (later ones are dropped — the
+  /// caller can only propagate one, and a single root cause usually
+  /// cascades).
+  void record_job_error(std::exception_ptr e);
 
   /// One parking slot per worker so the dispatcher can wake exactly the
   /// workers a job needs (and an idle pool costs nothing).
@@ -156,6 +181,14 @@ class ThreadPool {
   std::atomic<int> remaining_{0};  ///< workers still running this job
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<const CancelToken*> cancel_{nullptr};
+
+  // First exception thrown by any slot of the current job; rethrown by
+  // dispatch after the join barrier.  Written under err_mutex_ (slot
+  // failures are cold), read by the dispatcher only after every slot has
+  // finished.
+  std::mutex         err_mutex_;
+  std::exception_ptr job_error_;
 
   // Completion parking for the dispatching thread.
   std::mutex              done_mutex_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <utility>
 
 #include "gpu/coalescing.hpp"
 #include "gpu/device.hpp"
@@ -73,6 +74,37 @@ TEST(Device, PoolPresizeServesFirstTouchFromPool) {
   // Beyond the pre-sized ceiling the pool still misses as before.
   DeviceBuffer<char> big(dev, (1 << 18) * 2, "big");
   EXPECT_EQ(dev.pool_misses(), misses0 + 1);
+}
+
+TEST(Device, PoolAccountingBalancesAcrossLifetimes) {
+  // Every pool_acquire must be matched by exactly one pool_release —
+  // across normal destruction, early release(), moves, and constructors
+  // that throw.  pool_outstanding_blocks() is the live-block ledger.
+  Device dev(small_device());
+  EXPECT_EQ(dev.pool_outstanding_blocks(), 0);
+  {
+    DeviceBuffer<int> a(dev, 100, "a");
+    DeviceBuffer<double> b(dev, 50, "b");
+    EXPECT_EQ(dev.pool_outstanding_blocks(), 2);
+    // A move transfers ownership; it must not double-count the block.
+    DeviceBuffer<int> c(std::move(a));
+    EXPECT_EQ(dev.pool_outstanding_blocks(), 2);
+    c.release();
+    EXPECT_EQ(dev.pool_outstanding_blocks(), 1);
+  }
+  EXPECT_EQ(dev.pool_outstanding_blocks(), 0);
+
+  // A constructor that throws (capacity exceeded) runs no destructor:
+  // both the capacity charge and the block count must stay balanced.
+  const auto bytes_before = dev.allocated_bytes();
+  EXPECT_THROW(DeviceBuffer<int> big(dev, std::size_t{1} << 22, "big"),
+               DeviceOutOfMemory);
+  EXPECT_EQ(dev.allocated_bytes(), bytes_before);
+  EXPECT_EQ(dev.pool_outstanding_blocks(), 0);
+
+  // And the device stays fully usable afterwards.
+  DeviceBuffer<int> after(dev, 64, "after");
+  EXPECT_EQ(dev.pool_outstanding_blocks(), 1);
 }
 
 TEST(Device, OutOfMemoryThrows) {

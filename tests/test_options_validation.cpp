@@ -5,6 +5,7 @@
 
 #include "core/partitioner.hpp"
 #include "gen/generators.hpp"
+#include "service/engine.hpp"
 
 namespace gp {
 namespace {
@@ -127,6 +128,66 @@ TEST(Validation, DisconnectedGraph) {
     const auto r = p->run(g, opts);
     EXPECT_TRUE(validate_partition(g, r.partition).empty()) << p->name();
   }
+}
+
+// --- service-mode configuration (gpmetis --serve flags land here) ---
+
+TEST(Validation, ServeRejectsBadQueueDepth) {
+  ServiceConfig cfg;
+  cfg.queue_depth = 0;
+  EXPECT_THROW(validate_service_config(cfg), std::invalid_argument);
+}
+
+TEST(Validation, ServeRejectsBadDeadline) {
+  ServiceConfig cfg;
+  cfg.default_deadline_seconds = -1.0;
+  EXPECT_THROW(validate_service_config(cfg), std::invalid_argument);
+  cfg.default_deadline_seconds = 0.0;  // 0 = no deadline, legal
+  EXPECT_NO_THROW(validate_service_config(cfg));
+}
+
+TEST(Validation, ServeRejectsBadRetryPolicy) {
+  ServiceConfig cfg;
+  cfg.retry.max_attempts = 0;
+  EXPECT_THROW(validate_service_config(cfg), std::invalid_argument);
+  cfg = ServiceConfig{};
+  cfg.retry.backoff_multiplier = 0.9;  // backoff may not shrink
+  EXPECT_THROW(validate_service_config(cfg), std::invalid_argument);
+  cfg = ServiceConfig{};
+  cfg.retry.jitter = -0.1;
+  EXPECT_THROW(validate_service_config(cfg), std::invalid_argument);
+}
+
+TEST(Validation, ServeRejectsBadWorkersAndBudget) {
+  ServiceConfig cfg;
+  cfg.workers = -2;
+  EXPECT_THROW(validate_service_config(cfg), std::invalid_argument);
+  cfg = ServiceConfig{};
+  cfg.cost_budget_seconds = -5.0;
+  EXPECT_THROW(validate_service_config(cfg), std::invalid_argument);
+  EXPECT_NO_THROW(validate_service_config(ServiceConfig{}));
+}
+
+// A service request with invalid *partition* options must flow through
+// the same validate_options path as one-shot runs: the request fails
+// fast (no retry — a malformed request cannot be ladder-fixed).
+TEST(Validation, ServeRequestWithBadOptionsFailsWithoutRetry) {
+  const auto g = grid2d_graph(4, 4);
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  ServiceEngine engine(cfg);
+  PartitionOptions opts;
+  opts.k = 0;
+  auto t = engine.submit(g, opts, Priority::kNormal, -1, "metis");
+  ASSERT_TRUE(engine.run_one());
+  const auto out = t->wait();
+  EXPECT_EQ(out.state, RequestState::kFailed);
+  EXPECT_EQ(out.attempts, 1);
+  ASSERT_EQ(out.attempt_trail.size(), 1u);
+  EXPECT_EQ(out.attempt_trail[0].rfind("metis:invalid", 0), 0u)
+      << out.attempt_trail[0];
+  EXPECT_EQ(engine.stats().retries, 0u);
+  EXPECT_EQ(engine.stats().failed, 1u);
 }
 
 }  // namespace

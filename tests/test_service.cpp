@@ -1,0 +1,370 @@
+// Service engine end to end (DESIGN.md §3.8): admission control with
+// machine-readable shed reasons, priority ordering, deadline-to-watchdog
+// propagation (valid-but-degraded, never a hang), deterministic
+// fault-triggered retries down the degradation ladder, and cooperative
+// cancellation that unwinds cleanly out of every driver.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/partitioner.hpp"
+#include "core/report.hpp"
+#include "gen/generators.hpp"
+#include "mt/mt_partitioner.hpp"
+#include "serial/metis_partitioner.hpp"
+#include "service/engine.hpp"
+
+namespace gp {
+namespace {
+
+PartitionOptions det_opts() {
+  PartitionOptions opts;
+  opts.k = 4;
+  opts.threads = 1;           // bit-deterministic shared-memory phases
+  opts.gpu_host_workers = 1;  // bit-deterministic kernels
+  opts.seed = 7;
+  opts.fault_seed = 17;
+  return opts;
+}
+
+/// Synchronous engine (workers == 0): nothing runs until run_one(), so
+/// every accept/shed/retry decision is a pure function of the submission
+/// order — the configuration all determinism tests use.
+ServiceConfig sync_cfg() {
+  ServiceConfig cfg;
+  cfg.workers = 0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+// ------------------------------------------------------------ admission
+
+TEST(ServiceAdmission, QueueFullShedsWithMachineReadableReason) {
+  const auto g = delaunay_graph(500, 3);
+  ServiceConfig cfg = sync_cfg();
+  cfg.queue_depth = 2;
+  ServiceEngine engine(cfg);
+
+  auto t1 = engine.submit(g, det_opts(), Priority::kNormal, -1, "metis");
+  auto t2 = engine.submit(g, det_opts(), Priority::kNormal, -1, "metis");
+  auto t3 = engine.submit(g, det_opts(), Priority::kNormal, -1, "metis");
+
+  EXPECT_FALSE(t1->done());
+  EXPECT_FALSE(t2->done());
+  ASSERT_TRUE(t3->done());  // shed synchronously at submit
+  const auto out = t3->wait();
+  EXPECT_EQ(out.state, RequestState::kShed);
+  EXPECT_EQ(out.shed_class, ShedClass::kQueueFull);
+  EXPECT_EQ(out.shed_reason, "queue-full:depth=2:max=2");
+
+  while (engine.run_one()) {
+  }
+  EXPECT_EQ(t1->wait().state, RequestState::kDone);
+  EXPECT_EQ(t2->wait().state, RequestState::kDone);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.submitted, 3u);
+  EXPECT_EQ(s.accepted, 2u);
+  EXPECT_EQ(s.shed_queue_full, 1u);
+  EXPECT_EQ(s.completed, 2u);
+}
+
+TEST(ServiceAdmission, CostBudgetShedsWithBacklogDetail) {
+  const auto g = delaunay_graph(2000, 3);
+  ServiceConfig cfg = sync_cfg();
+  // First request's estimate fits; first + second exceeds the budget.
+  const double est = estimate_request_cost(g, det_opts());
+  ASSERT_GT(est, 0.0);
+  cfg.cost_budget_seconds = est * 1.5;
+  ServiceEngine engine(cfg);
+
+  auto t1 = engine.submit(g, det_opts(), Priority::kNormal, -1, "metis");
+  auto t2 = engine.submit(g, det_opts(), Priority::kNormal, -1, "metis");
+  EXPECT_FALSE(t1->done());
+  ASSERT_TRUE(t2->done());
+  const auto out = t2->wait();
+  EXPECT_EQ(out.state, RequestState::kShed);
+  EXPECT_EQ(out.shed_class, ShedClass::kCostBudget);
+  EXPECT_EQ(out.shed_reason.rfind("cost-budget:backlog=", 0), 0u)
+      << out.shed_reason;
+  EXPECT_NE(out.shed_reason.find(":est="), std::string::npos);
+  EXPECT_NE(out.shed_reason.find(":max="), std::string::npos);
+
+  // Popping the first request frees the backlog: admission recovers.
+  EXPECT_TRUE(engine.run_one());
+  auto t3 = engine.submit(g, det_opts(), Priority::kNormal, -1, "metis");
+  EXPECT_FALSE(t3->done());
+  while (engine.run_one()) {
+  }
+  EXPECT_EQ(t3->wait().state, RequestState::kDone);
+}
+
+TEST(ServiceAdmission, PriorityClassesServeInteractiveFirst) {
+  const auto g = delaunay_graph(500, 3);
+  ServiceEngine engine(sync_cfg());
+  auto batch = engine.submit(g, det_opts(), Priority::kBatch, -1, "metis");
+  auto normal = engine.submit(g, det_opts(), Priority::kNormal, -1, "metis");
+  auto inter =
+      engine.submit(g, det_opts(), Priority::kInteractive, -1, "metis");
+
+  ASSERT_TRUE(engine.run_one());
+  EXPECT_TRUE(inter->done());
+  EXPECT_FALSE(normal->done());
+  ASSERT_TRUE(engine.run_one());
+  EXPECT_TRUE(normal->done());
+  EXPECT_FALSE(batch->done());
+  ASSERT_TRUE(engine.run_one());
+  EXPECT_TRUE(batch->done());
+  EXPECT_FALSE(engine.run_one());
+}
+
+TEST(ServiceAdmission, ShutdownShedsQueuedRequests) {
+  const auto g = delaunay_graph(500, 3);
+  auto engine = std::make_unique<ServiceEngine>(sync_cfg());
+  auto t = engine->submit(g, det_opts(), Priority::kNormal, -1, "metis");
+  engine->shutdown(/*drain=*/false);
+  ASSERT_TRUE(t->done());
+  const auto out = t->wait();
+  EXPECT_EQ(out.state, RequestState::kShed);
+  EXPECT_EQ(out.shed_class, ShedClass::kShutdown);
+  EXPECT_EQ(out.shed_reason, "shutdown");
+  // Post-shutdown submissions shed immediately too.
+  auto late = engine->submit(g, det_opts(), Priority::kNormal, -1, "metis");
+  EXPECT_EQ(late->wait().shed_class, ShedClass::kShutdown);
+}
+
+// ------------------------------------------------------- retry + ladder
+
+TEST(ServiceRetry, FaultDegradedRunRetriesDownLadderToHealthy) {
+  const auto g = delaunay_graph(4000, 3);
+  PartitionOptions opts = det_opts();
+  opts.audit_level = AuditLevel::kPhase;
+  opts.fault_spec = "cmap@0";  // planted corruption -> degraded attempt
+
+  ServiceEngine engine(sync_cfg());
+  auto t = engine.submit(g, opts, Priority::kNormal, -1, "mt-metis");
+  ASSERT_TRUE(engine.run_one());
+  const auto out = t->wait();
+
+  ASSERT_EQ(out.state, RequestState::kDone);
+  EXPECT_TRUE(
+      validate_partition(g, out.result.partition, out.result.cut,
+                         out.result.balance)
+          .empty());
+  // Attempt 1 (mt-metis, faults live) self-heals but reports degraded;
+  // the engine escalates to the terminal rung (metis, faults cleared),
+  // which must come back healthy.
+  ASSERT_EQ(out.attempts, 2);
+  ASSERT_EQ(out.attempt_trail.size(), 2u);
+  EXPECT_EQ(out.attempt_trail[0], "mt-metis:degraded");
+  EXPECT_EQ(out.attempt_trail[1], "metis:ok");
+  EXPECT_FALSE(out.result.health.degraded);
+  EXPECT_GT(out.backoff_seconds, 0.0);
+  EXPECT_EQ(engine.stats().retries, 1u);
+  EXPECT_EQ(engine.stats().completed_degraded, 0u);
+}
+
+TEST(ServiceRetry, TraceIsByteIdenticalAcrossEngineReruns) {
+  const auto g = delaunay_graph(4000, 3);
+  PartitionOptions opts = det_opts();
+  opts.audit_level = AuditLevel::kPhase;
+  opts.fault_spec = "cmap@0";
+
+  auto run_once = [&]() {
+    ServiceEngine engine(sync_cfg());
+    auto t = engine.submit(g, opts, Priority::kNormal, -1, "mt-metis");
+    while (engine.run_one()) {
+    }
+    return t->wait();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.state, RequestState::kDone);
+  ASSERT_EQ(b.state, RequestState::kDone);
+  EXPECT_EQ(a.result.partition.where, b.result.partition.where);
+  EXPECT_EQ(a.attempt_trail, b.attempt_trail);
+  EXPECT_EQ(a.attempts, b.attempts);
+  // Deterministic jitter: the modeled backoff replays exactly.
+  EXPECT_EQ(a.backoff_seconds, b.backoff_seconds);
+}
+
+TEST(ServiceRetry, WatchdogOnlyDegradationDoesNotRetry) {
+  const auto g = delaunay_graph(4000, 3);
+  PartitionOptions opts = det_opts();
+  opts.time_budget_seconds = 1e-9;  // watchdog sheds all refinement
+
+  ServiceEngine engine(sync_cfg());
+  auto t = engine.submit(g, opts, Priority::kNormal, -1, "metis");
+  ASSERT_TRUE(engine.run_one());
+  const auto out = t->wait();
+  ASSERT_EQ(out.state, RequestState::kDone);
+  EXPECT_TRUE(out.result.health.degraded);
+  // Degraded, but not fault-degraded: retrying a time shed would just
+  // miss harder, so exactly one attempt runs.
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(engine.stats().retries, 0u);
+}
+
+TEST(ServiceRetry, BackoffIsDeterministicAndMonotonicUnderNoJitter) {
+  RetryPolicy p;
+  p.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(1, 1, 9), p.base_backoff_seconds);
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(1, 2, 9),
+                   p.base_backoff_seconds * p.backoff_multiplier);
+  p.jitter = 0.5;
+  const double d1 = p.backoff_seconds(5, 1, 9);
+  EXPECT_DOUBLE_EQ(d1, p.backoff_seconds(5, 1, 9));  // pure function
+  EXPECT_NE(d1, p.backoff_seconds(6, 1, 9));         // id-sensitive
+  EXPECT_NE(d1, p.backoff_seconds(5, 1, 10));        // seed-sensitive
+  // Jitter stays inside [1 - j/2, 1 + j/2] of the base.
+  EXPECT_GE(d1, p.base_backoff_seconds * 0.75);
+  EXPECT_LE(d1, p.base_backoff_seconds * 1.25);
+}
+
+TEST(ServiceRetry, LadderBottomsOutAtFaultFreeSerial) {
+  const auto gp_ladder = degradation_ladder("gp-metis");
+  ASSERT_EQ(gp_ladder.size(), 3u);
+  EXPECT_EQ(gp_ladder[0].system, "gp-metis");
+  EXPECT_FALSE(gp_ladder[0].clear_faults);
+  EXPECT_EQ(gp_ladder[1].system, "mt-metis");
+  EXPECT_EQ(gp_ladder[2].system, "metis");
+  EXPECT_TRUE(gp_ladder[2].clear_faults);
+  // Requesting a ladder rung itself still terminates in clean serial.
+  const auto serial_ladder = degradation_ladder("metis");
+  ASSERT_EQ(serial_ladder.size(), 2u);
+  EXPECT_TRUE(serial_ladder.back().clear_faults);
+}
+
+// ------------------------------------------------------------ deadlines
+
+TEST(ServiceDeadline, ExpiredDeadlineStillReturnsValidPartition) {
+  const auto g = delaunay_graph(4000, 3);
+  ServiceConfig cfg = sync_cfg();
+  ServiceEngine engine(cfg);
+  // A deadline far smaller than any run: expired by dequeue time, so the
+  // run executes under an epsilon watchdog budget — minimal work, but a
+  // structurally valid best-so-far partition (never a hang, never empty).
+  auto t = engine.submit(g, det_opts(), Priority::kNormal, 1e-7, "metis");
+  ASSERT_TRUE(engine.run_one());
+  const auto out = t->wait();
+  ASSERT_EQ(out.state, RequestState::kDone);
+  EXPECT_TRUE(out.deadline_missed);
+  EXPECT_TRUE(out.result.health.degraded);
+  EXPECT_TRUE(
+      validate_partition(g, out.result.partition, out.result.cut,
+                         out.result.balance)
+          .empty());
+  EXPECT_EQ(engine.stats().deadline_misses, 1u);
+}
+
+TEST(ServiceDeadline, GenerousDeadlineCompletesCleanly) {
+  const auto g = delaunay_graph(2000, 3);
+  ServiceEngine engine(sync_cfg());
+  auto t = engine.submit(g, det_opts(), Priority::kNormal, 3600.0, "metis");
+  ASSERT_TRUE(engine.run_one());
+  const auto out = t->wait();
+  ASSERT_EQ(out.state, RequestState::kDone);
+  EXPECT_FALSE(out.deadline_missed);
+  EXPECT_FALSE(out.result.health.degraded);
+  EXPECT_EQ(engine.stats().deadline_misses, 0u);
+}
+
+// --------------------------------------------------------- cancellation
+
+TEST(ServiceCancel, CancelledBeforeExecutionFinalizesAtDequeue) {
+  const auto g = delaunay_graph(500, 3);
+  ServiceEngine engine(sync_cfg());
+  auto t = engine.submit(g, det_opts(), Priority::kNormal, -1, "metis");
+  t->cancel();
+  ASSERT_TRUE(engine.run_one());
+  const auto out = t->wait();
+  EXPECT_EQ(out.state, RequestState::kCancelled);
+  EXPECT_EQ(out.attempts, 0);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+}
+
+TEST(ServiceCancel, MidRunCancellationUnwindsDriversCleanly) {
+  // A pre-cancelled token makes the first phase-boundary check throw —
+  // the deterministic way to prove the unwind path: CancelledError (not
+  // a hang, not a swallowed state), pool and device scratch all released
+  // by RAII on the way out.
+  const auto g = delaunay_graph(4000, 3);
+  PartitionOptions opts = det_opts();
+  CancelToken tok;
+  tok.cancel();
+  opts.cancel = &tok;
+  EXPECT_THROW((void)SerialMetisPartitioner{}.run(g, opts), CancelledError);
+  EXPECT_THROW((void)MtMetisPartitioner{}.run(g, opts), CancelledError);
+  EXPECT_THROW((void)make_hybrid_partitioner()->run(g, opts),
+               CancelledError);
+  EXPECT_THROW((void)make_par_partitioner()->run(g, opts), CancelledError);
+  EXPECT_THROW((void)make_multi_gpu_partitioner()->run(g, opts),
+               CancelledError);
+  // The token is reusable once reset: the same options complete.
+  tok.reset();
+  const auto r = SerialMetisPartitioner{}.run(g, opts);
+  EXPECT_TRUE(validate_partition(g, r.partition, r.cut, r.balance).empty());
+}
+
+// ---------------------------------------------------- config + plumbing
+
+TEST(ServiceConfigValidation, RejectsNonsense) {
+  auto bad = [](auto mutate) {
+    ServiceConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(validate_service_config(cfg), std::invalid_argument);
+  };
+  bad([](ServiceConfig& c) { c.workers = -1; });
+  bad([](ServiceConfig& c) { c.queue_depth = 0; });
+  bad([](ServiceConfig& c) { c.cost_budget_seconds = 0.0; });
+  bad([](ServiceConfig& c) { c.retry.max_attempts = 0; });
+  bad([](ServiceConfig& c) { c.retry.backoff_multiplier = 0.5; });
+  bad([](ServiceConfig& c) { c.retry.base_backoff_seconds = -1.0; });
+  bad([](ServiceConfig& c) { c.retry.jitter = 1.5; });
+  bad([](ServiceConfig& c) { c.default_deadline_seconds = -2.0; });
+  EXPECT_NO_THROW(validate_service_config(ServiceConfig{}));
+  EXPECT_THROW((void)make_partitioner_by_name("frobnicator"),
+               std::invalid_argument);
+}
+
+TEST(ServiceThreaded, WorkerPoolDrainsEveryRequest) {
+  const auto g = delaunay_graph(1000, 3);
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_depth = 64;
+  ServiceEngine engine(cfg);
+  std::vector<std::shared_ptr<RequestTicket>> tickets;
+  for (int i = 0; i < 12; ++i) {
+    tickets.push_back(
+        engine.submit(g, det_opts(), Priority::kNormal, -1, "metis"));
+  }
+  for (auto& t : tickets) {
+    const auto out = t->wait();
+    ASSERT_EQ(out.state, RequestState::kDone);
+    EXPECT_TRUE(
+        validate_partition(g, out.result.partition, out.result.cut,
+                           out.result.balance)
+            .empty());
+  }
+  engine.shutdown(/*drain=*/true);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.completed, 12u);
+  EXPECT_EQ(s.shed_total(), 0u);
+}
+
+TEST(ServiceStatsFormat, RendersBothLines) {
+  ServiceStats s;
+  s.submitted = 10;
+  s.accepted = 7;
+  s.shed_queue_full = 3;
+  s.completed = 7;
+  const std::string txt = format_service_stats(s);
+  EXPECT_NE(txt.find("submitted 10"), std::string::npos);
+  EXPECT_NE(txt.find("queue-full 3"), std::string::npos);
+  EXPECT_NE(txt.find("completed 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gp

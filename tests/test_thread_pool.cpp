@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/partitioner.hpp"
@@ -118,6 +120,94 @@ TEST(ThreadPoolBarrier, DispatchCountSeesEveryJob) {
   pool.parallel_for_blocked(0, [](int, std::int64_t, std::int64_t) {});
   pool.parallel_for_dynamic(0, 10, [](int, std::int64_t, std::int64_t) {});
   EXPECT_EQ(pool.dispatch_count() - before, 4u);
+}
+
+// --- exception safety and cancellation at the pool boundary ---
+//
+// A task that throws must unwind out of the *dispatching* call, not out
+// of a worker thread (std::terminate), and must not skip the barrier
+// arrival (a wedged dispatcher).  The regression mode before the fix was
+// exactly that wedge: the second parallel_for below would never return.
+
+TEST(ThreadPoolExceptions, ThrowingTaskPropagatesAndPoolSurvives) {
+  ThreadPool pool(8);
+  const std::int64_t n = 10000;
+  EXPECT_THROW(
+      pool.parallel_for_blocked(n,
+                                [&](int, std::int64_t b, std::int64_t e) {
+                                  for (std::int64_t i = b; i < e; ++i) {
+                                    if (i == 4242) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }
+                                }),
+      std::runtime_error);
+  // The pool must come back fully usable: every index covered once.
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  pool.parallel_for_blocked(n, [&](int, std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      std::atomic_ref<int>(hits[static_cast<std::size_t>(i)]).fetch_add(1);
+    }
+  });
+  for (const int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ThreadPoolExceptions, EverySlotThrowingStillJoinsAndRethrowsOne) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 50; ++round) {
+    try {
+      pool.run_on_all([](int t) {
+        throw std::runtime_error("slot " + std::to_string(t));
+      });
+      FAIL() << "expected a slot exception to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("slot ", 0), 0u);
+    }
+  }
+  // Error state must not leak into the next healthy job.
+  std::atomic<int> ran{0};
+  pool.run_on_all([&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolExceptions, SingleSlotInlinePathPropagates) {
+  ThreadPool pool(4);
+  // n == 1 runs inline on the caller with no barrier; the exception must
+  // still surface and leave the pool healthy.
+  EXPECT_THROW(pool.parallel_for_blocked(
+                   1, [](int, std::int64_t, std::int64_t) {
+                     throw std::runtime_error("inline");
+                   }),
+               std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.parallel_for_blocked(
+      100, [&](int, std::int64_t b, std::int64_t e) {
+        ran.fetch_add(static_cast<int>(e - b));
+      });
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolCancel, CancelledTokenRejectsDispatchUntilReset) {
+  ThreadPool pool(4);
+  CancelToken tok;
+  pool.set_cancel_token(&tok);
+  tok.cancel();
+  // Job-atomic contract: cancellation lands *between* jobs, so a
+  // dispatch on a cancelled token throws before any slot runs.
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for_blocked(
+                   100,
+                   [&](int, std::int64_t b, std::int64_t e) {
+                     ran.fetch_add(static_cast<int>(e - b));
+                   }),
+               CancelledError);
+  EXPECT_EQ(ran.load(), 0);
+  tok.reset();
+  pool.parallel_for_blocked(100, [&](int, std::int64_t b, std::int64_t e) {
+    ran.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(ran.load(), 100);
+  pool.set_cancel_token(nullptr);
 }
 
 // --- deterministic-partition regression gate ---

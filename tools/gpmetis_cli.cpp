@@ -22,6 +22,14 @@
 //   --audit <level>  invariant audits: off|phase|paranoid (default off)
 //   --time-budget <s>  wall-clock budget in seconds; refinement is shed
 //                    once it expires (default: unlimited)
+//   --serve <n>      service mode: submit the request n times through the
+//                    batched service engine (admission control, deadlines,
+//                    retries) and print the engine's stats
+//   --serve-workers <n>     service executor threads (default 2)
+//   --serve-queue-depth <n> admission queue bound (default 64)
+//   --serve-cost-budget <s> admission backlog budget, modeled seconds
+//   --serve-deadline <s>    per-request deadline in seconds (0 = none)
+//   --serve-retries <n>     max attempts per request (default 3)
 //   --verbose        always print the run-health trail
 //
 // Exit codes: 0 success, 1 I/O or runtime error, 2 usage error,
@@ -32,10 +40,12 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/partitioner.hpp"
 #include "core/report.hpp"
 #include "hybrid/multi_gpu_partitioner.hpp"
+#include "service/engine.hpp"
 #include "io/binary_io.hpp"
 #include "io/dimacs_io.hpp"
 #include "io/metis_io.hpp"
@@ -49,7 +59,9 @@ void usage() {
                "[--devices N] "
                "[--dimacs] [--out PATH] [--fault-spec S] [--fault-seed N] "
                "[--audit off|phase|paranoid] [--time-budget SECONDS] "
-               "[--verbose]\n");
+               "[--serve N] [--serve-workers N] [--serve-queue-depth N] "
+               "[--serve-cost-budget S] [--serve-deadline S] "
+               "[--serve-retries N] [--verbose]\n");
 }
 
 }  // namespace
@@ -70,6 +82,10 @@ int main(int argc, char** argv) {
   bool report = false;
   bool verbose = false;
   std::string ledger_path;
+  int serve_requests = 0;  // 0 = one-shot mode (no service engine)
+  ServiceConfig serve_cfg;
+  serve_cfg.sleep_on_backoff = true;  // live service: really back off
+  double serve_deadline = 0.0;
   for (int i = 3; i < argc; ++i) {
     auto next = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
     if (!std::strcmp(argv[i], "--system")) system = next();
@@ -95,6 +111,12 @@ int main(int argc, char** argv) {
       }
     }
     else if (!std::strcmp(argv[i], "--time-budget")) opts.time_budget_seconds = std::atof(next());
+    else if (!std::strcmp(argv[i], "--serve")) serve_requests = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--serve-workers")) serve_cfg.workers = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--serve-queue-depth")) serve_cfg.queue_depth = static_cast<std::size_t>(std::atoll(next()));
+    else if (!std::strcmp(argv[i], "--serve-cost-budget")) serve_cfg.cost_budget_seconds = std::atof(next());
+    else if (!std::strcmp(argv[i], "--serve-deadline")) serve_deadline = std::atof(next());
+    else if (!std::strcmp(argv[i], "--serve-retries")) serve_cfg.retry.max_attempts = std::atoi(next());
     else if (!std::strcmp(argv[i], "--verbose")) verbose = true;
     else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
@@ -109,6 +131,73 @@ int main(int argc, char** argv) {
                                 : read_metis_graph_file(path);
     std::printf("%s: %d vertices, %lld edges\n", path.c_str(),
                 g.num_vertices(), static_cast<long long>(g.num_edges()));
+
+    if (serve_requests != 0) {
+      // ---- service mode: the same request, n times, through the
+      // batched engine (admission control / deadlines / retries) ----
+      if (serve_requests < 0) {
+        std::fprintf(stderr, "--serve requires a positive request count\n");
+        return 2;
+      }
+      serve_cfg.default_deadline_seconds = serve_deadline;
+      serve_cfg.seed = opts.seed;
+      try {
+        validate_service_config(serve_cfg);
+        (void)make_partitioner_by_name(system);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "service config error: %s\n", e.what());
+        return 2;
+      }
+
+      ServiceEngine engine(serve_cfg);
+      std::vector<std::shared_ptr<RequestTicket>> tickets;
+      tickets.reserve(static_cast<std::size_t>(serve_requests));
+      for (int r = 0; r < serve_requests; ++r) {
+        tickets.push_back(engine.submit(g, opts, Priority::kNormal,
+                                        /*deadline=*/-1.0, system));
+      }
+      if (serve_cfg.workers == 0) {
+        while (engine.run_one()) {
+        }
+      }
+      bool any_failed = false;
+      bool any_off_nominal = false;
+      const RequestOutcome* best = nullptr;
+      std::vector<RequestOutcome> outcomes;
+      outcomes.reserve(tickets.size());
+      for (auto& t : tickets) outcomes.push_back(t->wait());
+      engine.shutdown(/*drain=*/true);
+      for (const auto& o : outcomes) {
+        if (o.state == RequestState::kFailed) any_failed = true;
+        if (o.state != RequestState::kDone || o.result.health.degraded ||
+            o.deadline_missed) {
+          any_off_nominal = true;
+        }
+        if (o.state == RequestState::kDone &&
+            (!best || o.result.cut < best->result.cut)) {
+          best = &o;
+        }
+        if (verbose && o.state == RequestState::kShed) {
+          std::printf("request %llu shed: %s\n",
+                      static_cast<unsigned long long>(o.id),
+                      o.shed_reason.c_str());
+        }
+      }
+      std::printf("%s", format_service_stats(engine.stats()).c_str());
+      if (best) {
+        std::printf("best cut: %lld (request %llu, %d attempt%s)\n",
+                    static_cast<long long>(best->result.cut),
+                    static_cast<unsigned long long>(best->id),
+                    best->attempts, best->attempts == 1 ? "" : "s");
+        if (out_path.empty()) {
+          out_path = path + ".part." + std::to_string(opts.k);
+        }
+        write_partition_file(out_path, best->result.partition.where);
+        std::printf("partition written to %s\n", out_path.c_str());
+      }
+      if (any_failed || !best) return 1;
+      return any_off_nominal ? 3 : 0;
+    }
 
     std::unique_ptr<Partitioner> p;
     if (system == "metis") p = make_serial_partitioner();
