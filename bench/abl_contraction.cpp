@@ -30,7 +30,8 @@ void run_contract(benchmark::State& state, bool use_hash) {
   for (auto _ : state) {
     gp::GpuContractStats st;
     auto coarse = gp::gpu_contract(f.dev, f.gg, f.m.match, f.m.cmap,
-                                   f.m.n_coarse, 0, 4096, use_hash, &st);
+                                   f.m.n_coarse, 0, 4096, use_hash,
+                                   gp::GpuScanMode::kBlocked, &st);
     benchmark::DoNotOptimize(coarse.m);
   }
   f.dev.set_ledger(nullptr);

@@ -1,6 +1,16 @@
-// Ablation: the device-wide prefix sum behind the 4-kernel cmap pipeline
-// (Fig. 4).  Compares the 3-launch blocked device scan against the serial
-// and pool-parallel host scans at several sizes.
+// Ablation: device-wide prefix-sum / dispatch strategy (DESIGN.md §3.9).
+//
+// Compares the historical 3-launch blocked device scan against the
+// single-dispatch decoupled-lookback scan across 2^10..2^24 elements,
+// with the serial and pool-parallel host scans as CPU reference points.
+// Each device benchmark reports two extra counters:
+//
+//   launches          kernel dispatches per scan (blocked: 3 past one
+//                     block, 1 degenerate; lookback: always 1)
+//   modeled_ns_per_elem  cost-model nanoseconds per element — where the
+//                     saved launch overheads actually show up, since the
+//                     wall time of the simulated device also pays host
+//                     scheduling noise the model deliberately excludes
 #include <benchmark/benchmark.h>
 
 #include "gpu/scan.hpp"
@@ -37,16 +47,40 @@ void BM_HostParallelScan(benchmark::State& state) {
 }
 BENCHMARK(BM_HostParallelScan)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
 
-void BM_DeviceScan(benchmark::State& state) {
-  const auto input = make_input(state.range(0));
+/// Shared body for the two device modes: per-iteration upload + scan on
+/// a ledger-attached device, reporting launches and modeled ns/element.
+void run_device_scan(benchmark::State& state, gp::GpuScanMode mode) {
+  const std::int64_t n = state.range(0);
+  const auto input = make_input(n);
   gp::Device dev;
   for (auto _ : state) {
     auto buf = gp::to_device(dev, input, "scan");
-    const auto total = gp::device_inclusive_scan(dev, buf);
+    gp::CostLedger ledger;
+    dev.set_ledger(&ledger);
+    const std::uint64_t before = dev.kernels_launched();
+    const auto total = gp::device_inclusive_scan(dev, buf, "scan", mode);
     benchmark::DoNotOptimize(total);
+    dev.set_ledger(nullptr);
+    state.counters["launches"] = static_cast<double>(
+        dev.kernels_launched() - before);
+    state.counters["modeled_ns_per_elem"] =
+        ledger.total_seconds() * 1e9 / static_cast<double>(n);
   }
 }
-BENCHMARK(BM_DeviceScan)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_DeviceScanBlocked(benchmark::State& state) {
+  run_device_scan(state, gp::GpuScanMode::kBlocked);
+}
+BENCHMARK(BM_DeviceScanBlocked)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 24);
+
+void BM_DeviceScanLookback(benchmark::State& state) {
+  run_device_scan(state, gp::GpuScanMode::kLookback);
+}
+BENCHMARK(BM_DeviceScanLookback)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 24);
 
 }  // namespace
 

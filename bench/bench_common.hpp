@@ -35,6 +35,8 @@ struct BenchConfig {
   /// instances must scale the handoff down with them or the smaller
   /// graphs would never exercise the GPU phases at all.
   vid_t gpu_threshold = 4096;
+  /// Device scan/dispatch strategy for the GPU phases (DESIGN.md §3.9).
+  GpuScanMode gpu_scan = GpuScanMode::kLookback;
   std::vector<std::string> graphs = {"ldoor", "delaunay", "hugebubble",
                                      "usa-roads"};
 };
@@ -46,7 +48,8 @@ struct BenchConfig {
   std::fprintf(stderr, "bench: %s\n", msg.c_str());
   std::fprintf(stderr,
                "usage: bench [--scale <f>] [--k <int>] [--reps <int>] "
-               "[--seed <int>] [--gpu-threshold <int>] [--graphs a,b,...]\n");
+               "[--seed <int>] [--gpu-threshold <int>] "
+               "[--gpu-scan blocked|lookback] [--graphs a,b,...]\n");
   std::exit(2);
 }
 
@@ -88,6 +91,12 @@ inline BenchConfig parse_args(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--reps")) cfg.reps = static_cast<int>(integer(1, 1000));
     else if (!std::strcmp(argv[i], "--seed")) cfg.seed = static_cast<std::uint64_t>(integer(0, 9.2e18));
     else if (!std::strcmp(argv[i], "--gpu-threshold")) cfg.gpu_threshold = static_cast<vid_t>(integer(0, 2e9));
+    else if (!std::strcmp(argv[i], "--gpu-scan")) {
+      const std::string m = next();
+      if (m == "blocked") cfg.gpu_scan = GpuScanMode::kBlocked;
+      else if (m == "lookback") cfg.gpu_scan = GpuScanMode::kLookback;
+      else usage_error("--gpu-scan: expected blocked|lookback, got \"" + m + "\"");
+    }
     else if (!std::strcmp(argv[i], "--graphs")) {
       cfg.graphs.clear();
       std::string s = next();
@@ -143,6 +152,7 @@ inline std::vector<RunRow> run_matrix(const BenchConfig& cfg, bool verbose) {
         opts.k = cfg.k;
         opts.eps = 0.03;
         opts.gpu_cpu_threshold = cfg.gpu_threshold;
+        opts.gpu_scan = cfg.gpu_scan;
         opts.seed = cfg.seed + static_cast<std::uint64_t>(rep);
         const auto r = sys->run(g, opts);
         if (r.modeled_seconds < row.modeled_s) {

@@ -75,6 +75,8 @@ struct E2eRow {
   double balance = 0;
   std::uint64_t partition_fnv = 0;
   std::uint64_t kernels = 0;
+  std::uint64_t kernels_coarsen = 0;    ///< dispatches under kernel/coarsen/
+  std::uint64_t kernels_uncoarsen = 0;  ///< dispatches under kernel/uncoarsen/
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
   double audit_wall_s = 0;
@@ -207,6 +209,10 @@ int main(int argc, char** argv) {
             row.balance = r.balance;
             row.partition_fnv = hash_partition(r.partition);
             row.kernels = r.exec.kernels_launched;
+            row.kernels_coarsen =
+                r.ledger.launches_with_prefix("kernel/coarsen/");
+            row.kernels_uncoarsen =
+                r.ledger.launches_with_prefix("kernel/uncoarsen/");
             row.pool_hits = r.exec.pool_hits;
             row.pool_misses = r.exec.pool_misses;
           }
@@ -288,12 +294,16 @@ int main(int argc, char** argv) {
         "     \"phases\": {\"coarsen\": %.6f, \"initpart\": %.6f, "
         "\"uncoarsen\": %.6f, \"transfer\": %.6f},\n"
         "     \"cut\": %lld, \"balance\": %.6f,\n"
-        "     \"kernels\": %llu, \"pool_hits\": %llu, \"pool_misses\": %llu",
+        "     \"kernels\": %llu, \"kernels_coarsen\": %llu, "
+        "\"kernels_uncoarsen\": %llu,\n"
+        "     \"pool_hits\": %llu, \"pool_misses\": %llu",
         r.graph.c_str(), r.partitioner.c_str(), r.ok ? "true" : "false",
         r.ok ? r.wall_s : 0.0, r.ok ? r.modeled_s : 0.0, r.phases.coarsen,
         r.phases.initpart, r.phases.uncoarsen, r.phases.transfer,
         static_cast<long long>(r.cut), r.balance,
         static_cast<unsigned long long>(r.kernels),
+        static_cast<unsigned long long>(r.kernels_coarsen),
+        static_cast<unsigned long long>(r.kernels_uncoarsen),
         static_cast<unsigned long long>(r.pool_hits),
         static_cast<unsigned long long>(r.pool_misses));
     os << buf;

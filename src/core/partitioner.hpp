@@ -69,6 +69,13 @@ struct PartitionOptions {
   /// ownership), unlike mt-metis' persistent threads.  false = keep the
   /// initial launch width at every level (the ablation's strawman).
   bool gpu_shrink_launch = true;
+  /// Device-wide prefix-sum / dispatch strategy (DESIGN.md §3.9):
+  /// kLookback (default) runs each hot level chain as a single fused
+  /// dispatch built on the decoupled-lookback scan; kBlocked keeps the
+  /// historical one-launch-per-kernel pipelines with three-kernel scans
+  /// (the differential harness and the scan ablation flip this).  Both
+  /// modes produce byte-identical partitions.
+  GpuScanMode gpu_scan = GpuScanMode::kLookback;
   /// Number of GPUs for the multi-device partitioner (the paper's future
   /// work, implemented in src/hybrid/multi_gpu_partitioner).  The
   /// single-device GP-metis ignores this.

@@ -88,11 +88,13 @@ void Device::begin_launch(const std::string& label) {
 void Device::finish_launch(const std::string& label) {
   std::uint64_t total = 0;
   for (const auto w : warp_work_) total += w;
+  ledger_->charge_gpu_kernel("kernel/" + label, total, warp_imbalance());
+}
+
+double Device::warp_imbalance() const {
   // Warp imbalance: max/mean, capped — a single pathological warp
   // cannot stall the whole device forever (other SMs keep working).
-  double imb = imbalance_factor(warp_work_);
-  imb = std::min(imb, 8.0);
-  ledger_->charge_gpu_kernel("kernel/" + label, total, imb);
+  return std::min(imbalance_factor(warp_work_), 8.0);
 }
 
 namespace {

@@ -232,6 +232,125 @@ class Device {
 
   [[nodiscard]] std::uint64_t kernels_launched() const { return kernels_; }
 
+  /// Metering context for one FUSED dispatch (see launch_fused).  Each
+  /// stage*() call executes a constituent sweep on the worker pool with
+  /// the same warp-aligned chunking as a standalone launch and records
+  /// its metered work for the single charge_gpu_fused entry written when
+  /// the dispatch ends.  Stages run sequentially — the implicit
+  /// device-wide barrier between chained sweeps — so fusing never changes
+  /// results, only metering.
+  class Fused {
+   public:
+    /// Per-warp-metered stage (analogue of launch()): the body returns
+    /// that logical thread's work units.
+    template <typename Body>
+    void stage(const std::string& name, std::int64_t n_threads,
+               Body&& body) {
+      if (n_threads <= 0) {
+        stages_.push_back({name, 0, 1.0});
+        return;
+      }
+      const int ws = dev_.config_.warp_size;
+      const std::int64_t grain = dev_.launch_grain(n_threads);
+      if (!dev_.ledger_) {
+        dev_.pool_.parallel_for_dynamic(
+            n_threads, grain, [&](int, std::int64_t b, std::int64_t e) {
+              for (std::int64_t i = b; i < e; ++i) body(i);
+            });
+        return;
+      }
+      const auto n_warps =
+          static_cast<std::size_t>((n_threads + ws - 1) / ws);
+      dev_.warp_work_.assign(n_warps, 0);
+      std::uint64_t* ww = dev_.warp_work_.data();
+      dev_.pool_.parallel_for_dynamic(
+          n_threads, grain, [&](int, std::int64_t b, std::int64_t e) {
+            std::int64_t i = b;
+            while (i < e) {
+              const std::int64_t warp = i / ws;
+              const std::int64_t warp_end =
+                  std::min<std::int64_t>((warp + 1) * ws, e);
+              std::uint64_t acc = 0;
+              for (; i < warp_end; ++i) acc += body(i);
+              ww[static_cast<std::size_t>(warp)] = acc;
+            }
+          });
+      GpuFusedStage s;
+      s.name = name;
+      for (const auto w : dev_.warp_work_) s.work_units += w;
+      s.imbalance = dev_.warp_imbalance();
+      stages_.push_back(std::move(s));
+    }
+
+    /// Unit-per-thread stage (analogue of launch_simple()).
+    template <typename Body>
+    void stage_simple(const std::string& name, std::int64_t n_threads,
+                      Body&& body) {
+      stage(name, n_threads, [&](std::int64_t tid) -> std::uint64_t {
+        body(tid);
+        return 1;
+      });
+    }
+
+    /// Coalesced streaming stage (analogue of launch_streamed()): charged
+    /// one unit per 128-byte transaction.
+    template <typename Body>
+    void stage_streamed(const std::string& name, std::int64_t n_threads,
+                        std::size_t elem_bytes, Body&& body) {
+      if (n_threads > 0) {
+        dev_.pool_.parallel_for_dynamic(
+            n_threads, dev_.launch_grain(n_threads),
+            [&](int, std::int64_t b, std::int64_t e) {
+              for (std::int64_t i = b; i < e; ++i) body(i);
+            });
+      }
+      const auto bytes = static_cast<std::uint64_t>(
+                             std::max<std::int64_t>(n_threads, 0)) *
+                         static_cast<std::uint64_t>(elem_bytes);
+      stages_.push_back({name, (bytes + 127) / 128, 1.0});
+    }
+
+    /// Executes `n_items` bodies with dynamic scheduling, one item per
+    /// chunk, claimed in increasing index order — the scheduling
+    /// guarantee the decoupled-lookback scoreboard's forward-progress
+    /// argument rests on (scan.hpp).  No metering; pair with
+    /// stage_metered for sweeps whose traffic is computed analytically.
+    template <typename Body>
+    void run_items(std::int64_t n_items, Body&& body) {
+      if (n_items <= 0) return;
+      dev_.pool_.parallel_for_dynamic(
+          n_items, 1, [&](int, std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) body(i);
+          });
+    }
+
+    /// Records a pre-metered stage (work computed by the caller).
+    void stage_metered(const std::string& name, std::uint64_t work_units,
+                       double imbalance = 1.0) {
+      stages_.push_back({name, work_units, imbalance});
+    }
+
+   private:
+    friend class Device;
+    explicit Fused(Device& dev) : dev_(dev) {}
+
+    Device&                    dev_;
+    std::vector<GpuFusedStage> stages_;
+  };
+
+  /// Meters a multi-stage kernel body as ONE dispatch (DESIGN.md §3.9):
+  /// `fn(fused)` issues its sweeps through the Fused context, then the
+  /// whole chain is charged via CostLedger::charge_gpu_fused — launch
+  /// overhead and the low-occupancy ramp once, bandwidth per stage.
+  /// Counts as one kernel for kernels_launched() and fault injection.
+  template <typename Fn>
+  void launch_fused(const std::string& label, Fn&& fn) {
+    begin_launch(label);
+    Fused fused(*this);
+    fn(fused);
+    if (ledger_) ledger_->charge_gpu_fused("kernel/" + label, fused.stages_);
+  }
+
   // --- device-memory pool (used by DeviceBuffer's backing storage) ---
   // Size-bucketed free lists in the spirit of CUB's caching allocator:
   // per-level scratch (scan totals, contraction index arrays, refinement
@@ -281,6 +400,10 @@ class Device {
   /// the warp_work_ roll-up into the ledger.
   void begin_launch(const std::string& label);
   void finish_launch(const std::string& label);
+
+  /// Capped max/mean imbalance of the warp_work_ scratch from the sweep
+  /// that just ran (shared by finish_launch and Fused::stage).
+  [[nodiscard]] double warp_imbalance() const;
 
   /// Warp-aligned dynamic chunk size for an n_threads-wide launch.
   [[nodiscard]] std::int64_t launch_grain(std::int64_t n_threads) const {

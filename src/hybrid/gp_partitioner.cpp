@@ -123,7 +123,8 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   std::int64_t launch_threads = opts.gpu_threads;
   while (cur->n > handoff) {
     check_cancelled(opts, "gp/gpu-coarsen");
-    auto m = gpu_match(dev, *cur, lvl, opts.seed, launch_threads);
+    auto m = gpu_match(dev, *cur, lvl, opts.seed, launch_threads,
+                       opts.gpu_scan);
     total_conflicts += m.conflicts;
     if (static_cast<double>(m.n_coarse) >
         opts.min_shrink * static_cast<double>(cur->n)) {
@@ -164,7 +165,8 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
     GpuGraph coarse =
         gpu_contract(dev, *cur, m.match, m.cmap, m.n_coarse, lvl,
                      launch_threads,
-                     opts.gpu_hash_contraction && !force_sort_merge, &cst);
+                     opts.gpu_hash_contraction && !force_sort_merge,
+                     opts.gpu_scan, &cst);
     if (audit == AuditLevel::kParanoid) {
       // Full conservation audit of the device contraction against the
       // fine graph (both sides downloaded; paranoid is allowed to pay).
@@ -246,7 +248,8 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
     const std::int64_t T0 = std::min<std::int64_t>(
         opts.gpu_threads, std::max<std::int64_t>(256, cur->n));
     gcache = GpuGainCache::build(dev, *cur, where_coarse, opts.k,
-                                 "uncoarsen/gaincache/handoff", T0);
+                                 "uncoarsen/gaincache/handoff", T0,
+                                 opts.gpu_scan);
     gcache_valid = true;
   }
 
@@ -276,15 +279,17 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
       const std::string tag = "uncoarsen/gaincache/L" + std::to_string(i);
       if (gcache_valid) {
         GpuGainCache fine_cache = GpuGainCache::project(
-            dev, gcache, fine, where_fine, gpu_levels[i].cmap, tag, T);
+            dev, gcache, fine, where_fine, gpu_levels[i].cmap, tag, T,
+            opts.gpu_scan);
         gcache = std::move(fine_cache);
       } else {
-        gcache = GpuGainCache::build(dev, fine, where_fine, opts.k, tag, T);
+        gcache = GpuGainCache::build(dev, fine, where_fine, opts.k, tag, T,
+                                     opts.gpu_scan);
         gcache_valid = true;
       }
       auto rst = gpu_refine(dev, fine, where_fine, opts.k, opts.eps,
                             opts.refine_passes, static_cast<int>(i), T,
-                            &gcache, &gpw);
+                            &gcache, &gpw, opts.gpu_scan);
       if (log) log->refine_committed += rst.committed;
       if (audit == AuditLevel::kParanoid) {
         // Cache-vs-recompute cross-check: the refine kernels both read

@@ -19,11 +19,18 @@ struct GpuContractStats {
 /// Contracts the device graph given a valid device (match, cmap).
 /// `use_hash` selects the clustered-hash-table merge (paper: faster) over
 /// the sort-merge; both are kept for the ablation bench.
+///
+/// Under GpuScanMode::kLookback the launch ladder collapses to three
+/// dispatches — count chain (leaders + maxcount + scan1), build chain
+/// (merge + scan2 + adjp scan), compaction copy — via single-pass
+/// look-back scans inside fused dispatches (DESIGN.md §3.9).  Results are
+/// byte-identical to the blocked per-kernel path.
 [[nodiscard]] GpuGraph gpu_contract(Device& dev, const GpuGraph& fine,
                                     const DeviceBuffer<vid_t>& match,
                                     const DeviceBuffer<vid_t>& cmap,
                                     vid_t n_coarse, int level,
                                     std::int64_t n_threads, bool use_hash,
+                                    GpuScanMode mode = GpuScanMode::kBlocked,
                                     GpuContractStats* stats = nullptr);
 
 }  // namespace gp

@@ -14,7 +14,8 @@ namespace {
 /// are skipped entirely (the common case on meshes and road networks,
 /// where deg << k).  Otherwise the offsets are built CSR-style.
 GpuGainCache alloc_cache(Device& dev, const GpuGraph& g, part_t k,
-                         const std::string& tag, std::int64_t n_threads) {
+                         const std::string& tag, std::int64_t n_threads,
+                         GpuScanMode mode) {
   GpuGainCache c;
   c.n = g.n;
   c.k = k;
@@ -36,21 +37,32 @@ GpuGainCache alloc_cache(Device& dev, const GpuGraph& g, part_t k,
     // Coalesced streaming reduction over adjp: per-transaction charge.
     return (work * sizeof(eid_t) + 127) / 128;
   });
-  eid_t slab;
+  eid_t slab = 0;
   if (md.d2h_vector()[0] <= static_cast<eid_t>(k)) {
     c.off_alias = adjp;
     slab = static_cast<eid_t>(g.adjncy.size());
   } else {
     c.off = DeviceBuffer<eid_t>(dev, n + 1, "gaincache/off");
     eid_t* off = c.off.data();
-    dev.launch_simple(tag + "/cap", static_cast<std::int64_t>(n) + 1,
-                      [&](std::int64_t i) {
-                        off[i] = (i == 0) ? 0
-                                          : std::min<eid_t>(
-                                                adjp[i] - adjp[i - 1],
-                                                static_cast<eid_t>(c.k));
-                      });
-    slab = device_inclusive_scan(dev, c.off, tag + "/offscan");
+    auto cap_of = [&](std::int64_t i) -> eid_t {
+      return (i == 0) ? 0
+                      : std::min<eid_t>(adjp[i] - adjp[i - 1],
+                                        static_cast<eid_t>(c.k));
+    };
+    if (mode == GpuScanMode::kLookback) {
+      // The capacity kernel folds into the scan's load transform: one
+      // dispatch builds the offsets instead of cap + three-kernel scan.
+      dev.launch_fused(tag + "/offscan", [&](Device::Fused& f) {
+        slab = lookback_scan_stage<eid_t>(
+            dev, f, "cap_scan", static_cast<std::int64_t>(n) + 1,
+            sizeof(eid_t), cap_of,
+            [&](std::int64_t i, eid_t inc, eid_t) { off[i] = inc; });
+      });
+    } else {
+      dev.launch_simple(tag + "/cap", static_cast<std::int64_t>(n) + 1,
+                        [&](std::int64_t i) { off[i] = cap_of(i); });
+      slab = device_inclusive_scan(dev, c.off, tag + "/offscan");
+    }
   }
   c.id = DeviceBuffer<wgt_t>(dev, n, "gaincache/id");
   c.ed = DeviceBuffer<wgt_t>(dev, n, "gaincache/ed");
@@ -68,8 +80,8 @@ GpuGainCache alloc_cache(Device& dev, const GpuGraph& g, part_t k,
 GpuGainCache GpuGainCache::build(Device& dev, const GpuGraph& g,
                                  const DeviceBuffer<part_t>& where, part_t k,
                                  const std::string& tag,
-                                 std::int64_t n_threads) {
-  GpuGainCache c = alloc_cache(dev, g, k, tag, n_threads);
+                                 std::int64_t n_threads, GpuScanMode mode) {
+  GpuGainCache c = alloc_cache(dev, g, k, tag, n_threads, mode);
   const vid_t n = g.n;
   const eid_t* adjp = g.adjp.data();
   const vid_t* adjncy = g.adjncy.data();
@@ -98,8 +110,8 @@ GpuGainCache GpuGainCache::project(Device& dev, GpuGainCache& coarse,
                                    const DeviceBuffer<part_t>& where_fine,
                                    const DeviceBuffer<vid_t>& cmap,
                                    const std::string& tag,
-                                   std::int64_t n_threads) {
-  GpuGainCache c = alloc_cache(dev, fine, coarse.k, tag, n_threads);
+                                   std::int64_t n_threads, GpuScanMode mode) {
+  GpuGainCache c = alloc_cache(dev, fine, coarse.k, tag, n_threads, mode);
   const vid_t n = fine.n;
   const eid_t* adjp = fine.adjp.data();
   const vid_t* adjncy = fine.adjncy.data();

@@ -23,8 +23,15 @@ struct GpuMatchResult {
 /// Runs the matching + conflict-resolution + cmap pipeline on the device.
 /// `n_threads` is the logical launch width (the paper shrinks it level by
 /// level as the graph gets smaller).
+///
+/// Under GpuScanMode::kLookback the whole level is ONE fused dispatch
+/// (fill, match, resolve, single-pass flag scan producing cmap directly,
+/// follower gather); under kBlocked it is the historical 8-launch chain.
+/// Both produce byte-identical results — the stage bodies are the same
+/// code, and the flag scan is an exact integer prefix sum.
 [[nodiscard]] GpuMatchResult gpu_match(Device& dev, const GpuGraph& g,
                                        int level, std::uint64_t seed,
-                                       std::int64_t n_threads);
+                                       std::int64_t n_threads,
+                                       GpuScanMode mode = GpuScanMode::kBlocked);
 
 }  // namespace gp

@@ -43,7 +43,8 @@ struct GpuMoveRequest {
 GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
                           DeviceBuffer<part_t>& where, part_t k, double eps,
                           int max_passes, int level, std::int64_t n_threads,
-                          GpuGainCache* cache, DeviceBuffer<wgt_t>* pw_io) {
+                          GpuGainCache* cache, DeviceBuffer<wgt_t>* pw_io,
+                          GpuScanMode mode) {
   GpuRefineStats stats;
   const vid_t n = g.n;
   const std::string L = "/L" + std::to_string(level);
@@ -62,8 +63,8 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
   // cache it carries across levels; a null cache is built here.
   GpuGainCache local_cache;
   if (cache == nullptr) {
-    local_cache =
-        GpuGainCache::build(dev, g, where, k, "uncoarsen/gaincache" + L, T);
+    local_cache = GpuGainCache::build(dev, g, where, k,
+                                      "uncoarsen/gaincache" + L, T, mode);
     cache = &local_cache;
   }
   const GpuGainCacheView cv = cache->view();
@@ -74,31 +75,30 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
   // level transitions and the per-level recount kernel is redundant.
   DeviceBuffer<wgt_t> pw_local;
   DeviceBuffer<wgt_t>& pw = pw_io ? *pw_io : pw_local;
-  if (pw.size() != static_cast<std::size_t>(k)) {
+  const bool need_weights = pw.size() != static_cast<std::size_t>(k);
+  if (need_weights) {
     // Fresh pool buffers are zero-filled; no fill kernel needed.
     pw = DeviceBuffer<wgt_t>(dev, static_cast<std::size_t>(k), "pw" + L);
-    wgt_t* pwd0 = pw.data();
-    dev.launch("uncoarsen/refine/weights" + L, T,
-               [&](std::int64_t t) -> std::uint64_t {
-                 std::uint64_t work = 0;
-                 for (vid_t v = static_cast<vid_t>(t); v < n;
-                      v += static_cast<vid_t>(T)) {
-                   atomic_add(pwd0[wh[v]], vwgt[v]);
-                   ++work;
-                 }
-                 return work;
-               });
   }
   wgt_t* pwd = pw.data();
+  auto weights_body = [&](std::int64_t t) -> std::uint64_t {
+    std::uint64_t work = 0;
+    for (vid_t v = static_cast<vid_t>(t); v < n; v += static_cast<vid_t>(T)) {
+      atomic_add(pwd[wh[v]], vwgt[v]);
+      ++work;
+    }
+    return work;
+  };
 
-  wgt_t total = 0;
-  {
-    // One d2h of the k part weights (tiny) to fix the bounds.
-    const auto host_pw = pw.d2h_vector();
-    for (const auto w : host_pw) total += w;
-  }
-  const wgt_t max_pw = max_part_weight(total, k, eps);
-  const wgt_t min_pw = min_part_weight(total, k, eps);
+  // Balance bounds, fixed by one d2h of the k part weights (tiny) after
+  // the weights kernel has run; the kernel bodies capture by reference.
+  wgt_t max_pw = 0, min_pw = 0;
+  auto fix_bounds = [&] {
+    wgt_t total = 0;
+    for (const auto w : pw.d2h_vector()) total += w;
+    max_pw = max_part_weight(total, k, eps);
+    min_pw = min_part_weight(total, k, eps);
+  };
 
   // Request buffers: one per partition, fixed capacity, an atomic size
   // counter per buffer (paper: "each buffer has a counter S ... a thread
@@ -126,6 +126,167 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
   int* com = committed_arr.data();
   int* pc = proposed_ctr.data();
 
+  // --- boundary kernel: evaluate each owned vertex from its cache
+  // entry (rebuilding it first when a commit left it dirty) and append
+  // a request to the destination partition's buffer.  A vertex with
+  // ed == 0 is interior — it cannot produce a request, and the explore
+  // kernel's deltas raise its ed the moment a neighbour's move makes it
+  // boundary again, so skipping it yields the exact proposal stream of
+  // a full scan.  The skip itself is a warp-coalesced streaming read of
+  // the ed array (consecutive logical threads read consecutive words),
+  // so it is charged per 128-byte transaction — 16 vertices per work
+  // unit — not per vertex like the data-dependent adjacency gathers. ---
+  auto propose_body = [&](std::int64_t t, bool upward,
+                          int* dc) -> std::uint64_t {
+    std::uint64_t work = 0;
+    // Per-executor scratch (a real kernel would keep this in
+    // registers/local memory).  `conn` and `mark` are restored to
+    // all-zero after every vertex, so across logical threads and
+    // launches they only need growing, never re-zeroing.
+    thread_local std::vector<wgt_t> conn;
+    thread_local std::vector<char> mark;
+    thread_local std::vector<part_t> parts;
+    if (conn.size() < static_cast<std::size_t>(k)) {
+      conn.assign(static_cast<std::size_t>(k), 0);
+    }
+    if (mark.size() < static_cast<std::size_t>(k)) {
+      mark.assign(static_cast<std::size_t>(k), 0);
+    }
+    std::uint64_t skipped = 0;
+    for (vid_t v = static_cast<vid_t>(t); v < n; v += static_cast<vid_t>(T)) {
+      const char dv = cv.dirty[v];
+      if (dv == kDirtyMoved || (dv == kDirtyLazy && cv.ed[v] != 0)) {
+        // Owner-exclusive: this logical thread is the only one
+        // touching v in this launch, and explore is not running.
+        // A lazy vertex with ed still 0 stays lazy — its skip below
+        // is exact without materialising id.
+        work += cv.rebuild_vertex(adjp, adjncy, adjwgt, wh, v, conn, parts);
+      }
+      if (cv.ed[v] == 0) {
+        ++skipped;
+        continue;
+      }
+      const part_t pv = racy_load(wh[v]);
+      // Gather the slots (summing the duplicates racing claims can
+      // leave) into the dense scratch.
+      const eid_t base = cv.off[v];
+      const std::int32_t used = cv.cnt[v];
+      parts.clear();
+      for (std::int32_t i = 0; i < used; ++i) {
+        const part_t qp1 = cv.slot_part[base + i];
+        if (qp1 <= 0) continue;  // free slot
+        const part_t q = static_cast<part_t>(qp1 - 1);
+        if (!mark[static_cast<std::size_t>(q)]) {
+          mark[static_cast<std::size_t>(q)] = 1;
+          parts.push_back(q);
+        }
+        conn[static_cast<std::size_t>(q)] += cv.slot_wgt[base + i];
+      }
+      work += static_cast<std::uint64_t>(used) + 1;
+      const bool overweight = racy_load(pwd[pv]) > max_pw;
+      const wgt_t internal = cv.id[v];
+      part_t best = kInvalidPart;
+      wgt_t best_conn = overweight ? std::numeric_limits<wgt_t>::min()
+                                   : internal;
+      int tied = 0;
+      for (const part_t q : parts) {
+        const wgt_t cq = conn[static_cast<std::size_t>(q)];
+        if (cq <= 0) continue;
+        if (upward ? (q <= pv) : (q >= pv)) continue;
+        if (cq > best_conn) {
+          best_conn = cq;
+          best = q;
+          tied = 1;
+        } else if (best != kInvalidPart && cq == best_conn) {
+          ++tied;
+        }
+      }
+      if (best != kInvalidPart && tied > 1) {
+        // Tie: replicate the historical scan-order rule — the full
+        // scan registered (and therefore selected) the tied part of
+        // the earliest foreign neighbour.  Early-exits there.
+        for (eid_t j = adjp[v]; j < adjp[v + 1]; ++j) {
+          ++work;
+          const part_t pu = racy_load(wh[adjncy[j]]);
+          if (pu == pv) continue;
+          if (conn[static_cast<std::size_t>(pu)] != best_conn) continue;
+          if (upward ? (pu <= pv) : (pu >= pv)) continue;
+          best = pu;
+          break;
+        }
+      }
+      for (const part_t q : parts) {
+        conn[static_cast<std::size_t>(q)] = 0;
+        mark[static_cast<std::size_t>(q)] = 0;
+      }
+      if (best == kInvalidPart) continue;
+      // Pre-check the destination bound (the explore kernel decides
+      // finally, but hopeless requests waste buffer slots).
+      if (racy_load(pwd[best]) + vwgt[v] > max_pw) continue;
+      atomic_add(*pc, 1);
+      const int slot = atomic_add(S[best], 1);
+      if (slot >= cap) {
+        atomic_add(*dc, 1);
+        continue;  // buffer full: drop (counted)
+      }
+      buf[static_cast<std::int64_t>(best) * cap + slot] = {
+          v, pv, best_conn - internal, vwgt[v]};
+    }
+    return work + (skipped + 15) / 16;
+  };
+
+  // --- explore kernel: one logical thread per partition commits its
+  // incoming requests by descending gain under the balance bounds ---
+  auto explore_body = [&](std::int64_t q) -> std::uint64_t {
+    const int cnt = std::min<int>(S[q], static_cast<int>(cap));
+    GpuMoveRequest* my = buf + q * cap;
+    std::sort(my, my + cnt,
+              [](const GpuMoveRequest& a, const GpuMoveRequest& b) {
+                return a.gain > b.gain;
+              });
+    std::uint64_t work = static_cast<std::uint64_t>(cnt), nc = 0;
+    for (int i = 0; i < cnt; ++i) {
+      const auto& rq = my[i];
+      // Destination grows only in this thread: plain bound check.
+      if (pwd[q] + rq.vw > max_pw) continue;
+      // Source shrinks concurrently (other explore threads drain
+      // it too): CAS reservation.
+      std::atomic_ref<wgt_t> src(pwd[rq.from]);
+      wgt_t cur = src.load(std::memory_order_relaxed);
+      bool ok = false;
+      while (cur - rq.vw >= min_pw) {
+        if (src.compare_exchange_weak(cur, cur - rq.vw,
+                                      std::memory_order_relaxed)) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) continue;
+      atomic_add(pwd[q], rq.vw);
+      racy_store(wh[rq.v], static_cast<part_t>(q));
+      // Cache maintenance: the moved vertex's own entry cannot be
+      // delta-updated race-free — flag it for rebuild; every
+      // neighbour gets an O(1) atomic delta (same O(deg) total the
+      // old re-activation sweep charged, but the next propose pass
+      // reads gains instead of rescanning).
+      racy_store(cv.dirty[rq.v], kDirtyMoved);
+      const eid_t mlo = adjp[rq.v], mhi = adjp[rq.v + 1];
+      work += static_cast<std::uint64_t>(mhi - mlo);
+      for (eid_t j = mlo; j < mhi; ++j) {
+        const vid_t u = adjncy[j];
+        cv.neighbor_delta(u, racy_load(wh[u]), rq.from,
+                          static_cast<part_t>(q), adjwgt[j]);
+      }
+      ++nc;
+    }
+    // This thread owns buffer q and its counters: publish the pass's
+    // commit count and reset S for the next propose pass, so neither
+    // needs a separate fill launch.
+    com[q] = static_cast<int>(nc);
+    racy_store(S[q], 0);
+    return work;
+  };
+
   // Stretch the pass budget (up to 8x) while a part is still overweight;
   // the check costs one tiny D2H per extension round, as a real
   // implementation would pay.
@@ -135,191 +296,65 @@ GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
     }
     return false;
   };
-  int idle_passes = 0;
-  for (int pass = 0;
-       pass < max_passes || (pass < 8 * max_passes && max_pw_violated());
-       ++pass) {
-    ++stats.passes;
-    const bool upward = (pass % 2 == 0);
-    int* dc = dropped_ctr.data();
 
-    // --- boundary kernel: evaluate each owned vertex from its cache
-    // entry (rebuilding it first when a commit left it dirty) and append
-    // a request to the destination partition's buffer.  A vertex with
-    // ed == 0 is interior — it cannot produce a request, and the explore
-    // kernel's deltas raise its ed the moment a neighbour's move makes it
-    // boundary again, so skipping it yields the exact proposal stream of
-    // a full scan.  The skip itself is a warp-coalesced streaming read of
-    // the ed array (consecutive logical threads read consecutive words),
-    // so it is charged per 128-byte transaction — 16 vertices per work
-    // unit — not per vertex like the data-dependent adjacency gathers. ---
-    dev.launch(
-        "uncoarsen/refine/propose" + L + "/p" + std::to_string(pass), T,
-        [&](std::int64_t t) -> std::uint64_t {
-          std::uint64_t work = 0;
-          // Per-executor scratch (a real kernel would keep this in
-          // registers/local memory).  `conn` and `mark` are restored to
-          // all-zero after every vertex, so across logical threads and
-          // launches they only need growing, never re-zeroing.
-          thread_local std::vector<wgt_t> conn;
-          thread_local std::vector<char> mark;
-          thread_local std::vector<part_t> parts;
-          if (conn.size() < static_cast<std::size_t>(k)) {
-            conn.assign(static_cast<std::size_t>(k), 0);
-          }
-          if (mark.size() < static_cast<std::size_t>(k)) {
-            mark.assign(static_cast<std::size_t>(k), 0);
-          }
-          std::uint64_t skipped = 0;
-          for (vid_t v = static_cast<vid_t>(t); v < n;
-               v += static_cast<vid_t>(T)) {
-            const char dv = cv.dirty[v];
-            if (dv == kDirtyMoved || (dv == kDirtyLazy && cv.ed[v] != 0)) {
-              // Owner-exclusive: this logical thread is the only one
-              // touching v in this launch, and explore is not running.
-              // A lazy vertex with ed still 0 stays lazy — its skip below
-              // is exact without materialising id.
-              work += cv.rebuild_vertex(adjp, adjncy, adjwgt, wh, v, conn,
-                                        parts);
-            }
-            if (cv.ed[v] == 0) {
-              ++skipped;
-              continue;
-            }
-            const part_t pv = racy_load(wh[v]);
-            // Gather the slots (summing the duplicates racing claims can
-            // leave) into the dense scratch.
-            const eid_t base = cv.off[v];
-            const std::int32_t used = cv.cnt[v];
-            parts.clear();
-            for (std::int32_t i = 0; i < used; ++i) {
-              const part_t qp1 = cv.slot_part[base + i];
-              if (qp1 <= 0) continue;  // free slot
-              const part_t q = static_cast<part_t>(qp1 - 1);
-              if (!mark[static_cast<std::size_t>(q)]) {
-                mark[static_cast<std::size_t>(q)] = 1;
-                parts.push_back(q);
-              }
-              conn[static_cast<std::size_t>(q)] += cv.slot_wgt[base + i];
-            }
-            work += static_cast<std::uint64_t>(used) + 1;
-            const bool overweight = racy_load(pwd[pv]) > max_pw;
-            const wgt_t internal = cv.id[v];
-            part_t best = kInvalidPart;
-            wgt_t best_conn = overweight
-                                  ? std::numeric_limits<wgt_t>::min()
-                                  : internal;
-            int tied = 0;
-            for (const part_t q : parts) {
-              const wgt_t cq = conn[static_cast<std::size_t>(q)];
-              if (cq <= 0) continue;
-              if (upward ? (q <= pv) : (q >= pv)) continue;
-              if (cq > best_conn) {
-                best_conn = cq;
-                best = q;
-                tied = 1;
-              } else if (best != kInvalidPart && cq == best_conn) {
-                ++tied;
-              }
-            }
-            if (best != kInvalidPart && tied > 1) {
-              // Tie: replicate the historical scan-order rule — the full
-              // scan registered (and therefore selected) the tied part of
-              // the earliest foreign neighbour.  Early-exits there.
-              for (eid_t j = adjp[v]; j < adjp[v + 1]; ++j) {
-                ++work;
-                const part_t pu = racy_load(wh[adjncy[j]]);
-                if (pu == pv) continue;
-                if (conn[static_cast<std::size_t>(pu)] != best_conn) continue;
-                if (upward ? (pu <= pv) : (pu >= pv)) continue;
-                best = pu;
-                break;
-              }
-            }
-            for (const part_t q : parts) {
-              conn[static_cast<std::size_t>(q)] = 0;
-              mark[static_cast<std::size_t>(q)] = 0;
-            }
-            if (best == kInvalidPart) continue;
-            // Pre-check the destination bound (the explore kernel decides
-            // finally, but hopeless requests waste buffer slots).
-            if (racy_load(pwd[best]) + vwgt[v] > max_pw) continue;
-            atomic_add(*pc, 1);
-            const int slot = atomic_add(S[best], 1);
-            if (slot >= cap) {
-              atomic_add(*dc, 1);
-              continue;  // buffer full: drop (counted)
-            }
-            buf[static_cast<std::int64_t>(best) * cap + slot] = {
-                v, pv, best_conn - internal, vwgt[v]};
-          }
-          return work + (skipped + 15) / 16;
+  // The alternating propose/commit loop; `run_propose` / `run_explore`
+  // issue the two sweeps either as standalone launches (blocked) or as
+  // stages of one fused dispatch (lookback).  The per-pass d2h of the
+  // commit counts — exactly what a CUDA implementation would pay for its
+  // early-exit read-back — stays in both modes.
+  auto pass_loop = [&](auto&& run_propose, auto&& run_explore) {
+    int idle_passes = 0;
+    for (int pass = 0;
+         pass < max_passes || (pass < 8 * max_passes && max_pw_violated());
+         ++pass) {
+      ++stats.passes;
+      const bool upward = (pass % 2 == 0);
+      int* dc = dropped_ctr.data();
+      run_propose(pass, upward, dc);
+      run_explore(pass);
+      int committed = 0;
+      for (const int c : committed_arr.d2h_vector()) committed += c;
+      stats.committed += static_cast<std::uint64_t>(committed);
+      // Both alternating directions must go idle before stopping (an
+      // overweight part may only have admissible moves one way).
+      idle_passes = (committed == 0) ? idle_passes + 1 : 0;
+      if (idle_passes >= 2) break;
+    }
+  };
+
+  if (mode == GpuScanMode::kLookback) {
+    // The whole refinement — weights recount (when needed) plus every
+    // propose/explore pass — is ONE persistent-kernel-style dispatch
+    // (DESIGN.md §3.9); each pass still pays its honest bandwidth and
+    // read-back transfer.
+    dev.launch_fused("uncoarsen/refine" + L, [&](Device::Fused& f) {
+      if (need_weights) f.stage("weights", T, weights_body);
+      fix_bounds();
+      pass_loop(
+          [&](int pass, bool upward, int* dc) {
+            f.stage("p" + std::to_string(pass) + "/propose", T,
+                    [&](std::int64_t t) { return propose_body(t, upward, dc); });
+          },
+          [&](int pass) {
+            f.stage("p" + std::to_string(pass) + "/explore", k, explore_body);
+          });
+    });
+  } else {
+    if (need_weights) {
+      dev.launch("uncoarsen/refine/weights" + L, T, weights_body);
+    }
+    fix_bounds();
+    pass_loop(
+        [&](int pass, bool upward, int* dc) {
+          dev.launch("uncoarsen/refine/propose" + L + "/p" +
+                         std::to_string(pass),
+                     T, [&](std::int64_t t) { return propose_body(t, upward, dc); });
+        },
+        [&](int pass) {
+          dev.launch("uncoarsen/refine/explore" + L + "/p" +
+                         std::to_string(pass),
+                     k, explore_body);
         });
-
-    // --- explore kernel: one logical thread per partition commits its
-    // incoming requests by descending gain under the balance bounds ---
-    dev.launch(
-        "uncoarsen/refine/explore" + L + "/p" + std::to_string(pass), k,
-        [&](std::int64_t q) -> std::uint64_t {
-          const int cnt = std::min<int>(S[q], static_cast<int>(cap));
-          GpuMoveRequest* my = buf + q * cap;
-          std::sort(my, my + cnt,
-                    [](const GpuMoveRequest& a, const GpuMoveRequest& b) {
-                      return a.gain > b.gain;
-                    });
-          std::uint64_t work = static_cast<std::uint64_t>(cnt), nc = 0;
-          for (int i = 0; i < cnt; ++i) {
-            const auto& rq = my[i];
-            // Destination grows only in this thread: plain bound check.
-            if (pwd[q] + rq.vw > max_pw) continue;
-            // Source shrinks concurrently (other explore threads drain
-            // it too): CAS reservation.
-            std::atomic_ref<wgt_t> src(pwd[rq.from]);
-            wgt_t cur = src.load(std::memory_order_relaxed);
-            bool ok = false;
-            while (cur - rq.vw >= min_pw) {
-              if (src.compare_exchange_weak(cur, cur - rq.vw,
-                                            std::memory_order_relaxed)) {
-                ok = true;
-                break;
-              }
-            }
-            if (!ok) continue;
-            atomic_add(pwd[q], rq.vw);
-            racy_store(wh[rq.v], static_cast<part_t>(q));
-            // Cache maintenance: the moved vertex's own entry cannot be
-            // delta-updated race-free — flag it for rebuild; every
-            // neighbour gets an O(1) atomic delta (same O(deg) total the
-            // old re-activation sweep charged, but the next propose pass
-            // reads gains instead of rescanning).
-            racy_store(cv.dirty[rq.v], kDirtyMoved);
-            const eid_t mlo = adjp[rq.v], mhi = adjp[rq.v + 1];
-            work += static_cast<std::uint64_t>(mhi - mlo);
-            for (eid_t j = mlo; j < mhi; ++j) {
-              const vid_t u = adjncy[j];
-              cv.neighbor_delta(u, racy_load(wh[u]), rq.from,
-                                static_cast<part_t>(q), adjwgt[j]);
-            }
-            ++nc;
-          }
-          // This thread owns buffer q and its counters: publish the pass's
-          // commit count and reset S for the next propose pass, so neither
-          // needs a separate fill launch.
-          com[q] = static_cast<int>(nc);
-          racy_store(S[q], 0);
-          return work;
-        });
-
-    // Early-exit check requires reading the commit counts back (one tiny
-    // D2H per pass, exactly what a CUDA implementation would do; the
-    // other statistics counters are read once after the final pass).
-    int committed = 0;
-    for (const int c : committed_arr.d2h_vector()) committed += c;
-    stats.committed += static_cast<std::uint64_t>(committed);
-    // Both alternating directions must go idle before stopping (an
-    // overweight part may only have admissible moves one way).
-    idle_passes = (committed == 0) ? idle_passes + 1 : 0;
-    if (idle_passes >= 2) break;
   }
   stats.dropped_full_buffer =
       static_cast<std::uint64_t>(dropped_ctr.d2h_vector()[0]);

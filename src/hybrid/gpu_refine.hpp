@@ -45,10 +45,16 @@ struct GpuRefineStats {
 /// if it already holds k entries they are trusted (projection preserves
 /// per-part weights exactly, and the explore kernel keeps them current),
 /// otherwise it is filled by the weights kernel here and handed back.
+///
+/// Under GpuScanMode::kLookback the whole call — weights recount plus
+/// every propose/explore pass — is metered as ONE persistent-kernel-style
+/// fused dispatch (DESIGN.md §3.9); under kBlocked each pass is two
+/// launches as before.  Results are byte-identical.
 GpuRefineStats gpu_refine(Device& dev, const GpuGraph& g,
                           DeviceBuffer<part_t>& where, part_t k, double eps,
                           int max_passes, int level, std::int64_t n_threads,
                           GpuGainCache* cache = nullptr,
-                          DeviceBuffer<wgt_t>* pw_io = nullptr);
+                          DeviceBuffer<wgt_t>* pw_io = nullptr,
+                          GpuScanMode mode = GpuScanMode::kBlocked);
 
 }  // namespace gp

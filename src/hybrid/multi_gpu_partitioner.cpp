@@ -266,14 +266,13 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
 
         DeviceBuffer<vid_t> match(dev, static_cast<std::size_t>(n),
                                   "coarsen/match" + L);
-        match.fill(kInvalidVid);
         vid_t* mt = match.data();
         const eid_t* adjp = s.adjp.data();
         const vid_t* adjncy = s.adjncy.data();
         const wgt_t* adjwgt = s.adjwgt.data();
         const vid_t sb = s.begin, se = s.end;
 
-        dev.launch("coarsen/match" + L, T, [&](std::int64_t t) -> std::uint64_t {
+        auto match_body = [&](std::int64_t t) -> std::uint64_t {
           Rng rng(opts.seed + static_cast<std::uint64_t>(lvl) * 977 +
                   static_cast<std::uint64_t>(d) * 131071 +
                   static_cast<std::uint64_t>(t));
@@ -306,62 +305,87 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
             }
           }
           return work;
-        });
-        dev.launch("coarsen/resolve" + L, T,
-                   [&](std::int64_t t) -> std::uint64_t {
-                     std::uint64_t work = 0;
-                     for (vid_t v = static_cast<vid_t>(t); v < n;
-                          v += static_cast<vid_t>(T)) {
-                       ++work;
-                       const vid_t m = racy_load(mt[v]);
-                       if (m == kInvalidVid) {
-                         racy_store(mt[v], v);
-                         continue;
-                       }
-                       if (m != v && racy_load(mt[m]) != v) {
-                         racy_store(mt[v], v);
-                       }
-                     }
-                     return work;
-                   });
+        };
+        auto resolve_body = [&](std::int64_t t) -> std::uint64_t {
+          std::uint64_t work = 0;
+          for (vid_t v = static_cast<vid_t>(t); v < n;
+               v += static_cast<vid_t>(T)) {
+            ++work;
+            const vid_t m = racy_load(mt[v]);
+            if (m == kInvalidVid) {
+              racy_store(mt[v], v);
+              continue;
+            }
+            if (m != v && racy_load(mt[m]) != v) {
+              racy_store(mt[v], v);
+            }
+          }
+          return work;
+        };
 
         // cmap (4-kernel pipeline, local labels 0..nc-1).
         DeviceBuffer<vid_t> cmap(dev, static_cast<std::size_t>(n),
                                  "cmap" + L);
         vid_t* cm = cmap.data();
-        dev.launch("coarsen/cmap/init" + L, T,
-                   [&](std::int64_t t) -> std::uint64_t {
-                     std::uint64_t w = 0;
-                     for (vid_t v = static_cast<vid_t>(t); v < n;
-                          v += static_cast<vid_t>(T)) {
-                       cm[v] = (v <= mt[v]) ? 1 : 0;
-                       ++w;
-                     }
-                     return w;
-                   });
-        const vid_t nc =
-            n > 0 ? device_inclusive_scan(dev, cmap, "coarsen/cmap/scan" + L)
-                  : 0;
-        dev.launch("coarsen/cmap/sub" + L, T,
-                   [&](std::int64_t t) -> std::uint64_t {
-                     std::uint64_t w = 0;
-                     for (vid_t v = static_cast<vid_t>(t); v < n;
-                          v += static_cast<vid_t>(T)) {
-                       cm[v] -= 1;
-                       ++w;
-                     }
-                     return w;
-                   });
-        dev.launch("coarsen/cmap/final" + L, T,
-                   [&](std::int64_t t) -> std::uint64_t {
-                     std::uint64_t w = 0;
-                     for (vid_t v = static_cast<vid_t>(t); v < n;
-                          v += static_cast<vid_t>(T)) {
-                       if (v > mt[v]) cm[v] = cm[mt[v]];
-                       ++w;
-                     }
-                     return w;
-                   });
+        auto final_body = [&](std::int64_t t) -> std::uint64_t {
+          std::uint64_t w = 0;
+          for (vid_t v = static_cast<vid_t>(t); v < n;
+               v += static_cast<vid_t>(T)) {
+            if (v > mt[v]) cm[v] = cm[mt[v]];
+            ++w;
+          }
+          return w;
+        };
+
+        vid_t nc = 0;
+        if (opts.gpu_scan == GpuScanMode::kLookback) {
+          // The whole per-device level chain is one fused dispatch; the
+          // cmap init/scan/sub triple collapses into a single look-back
+          // scan stage (same transform as gpu_match's fused path).
+          dev.launch_fused("coarsen/level" + L, [&](Device::Fused& f) {
+            f.stage_streamed("fill", n, sizeof(vid_t),
+                             [&](std::int64_t v) { mt[v] = kInvalidVid; });
+            f.stage("match", T, match_body);
+            f.stage("resolve", T, resolve_body);
+            if (n > 0) {
+              nc = lookback_scan_stage<vid_t>(
+                  dev, f, "cmap_scan", n, sizeof(vid_t),
+                  [&](std::int64_t v) -> vid_t {
+                    return (v <= mt[v]) ? 1 : 0;
+                  },
+                  [&](std::int64_t v, vid_t inc, vid_t) { cm[v] = inc - 1; });
+            }
+            f.stage("cmap_final", T, final_body);
+          });
+        } else {
+          match.fill(kInvalidVid);
+          dev.launch("coarsen/match" + L, T, match_body);
+          dev.launch("coarsen/resolve" + L, T, resolve_body);
+          dev.launch("coarsen/cmap/init" + L, T,
+                     [&](std::int64_t t) -> std::uint64_t {
+                       std::uint64_t w = 0;
+                       for (vid_t v = static_cast<vid_t>(t); v < n;
+                            v += static_cast<vid_t>(T)) {
+                         cm[v] = (v <= mt[v]) ? 1 : 0;
+                         ++w;
+                       }
+                       return w;
+                     });
+          nc = n > 0 ? device_inclusive_scan(dev, cmap,
+                                             "coarsen/cmap/scan" + L)
+                     : 0;
+          dev.launch("coarsen/cmap/sub" + L, T,
+                     [&](std::int64_t t) -> std::uint64_t {
+                       std::uint64_t w = 0;
+                       for (vid_t v = static_cast<vid_t>(t); v < n;
+                            v += static_cast<vid_t>(T)) {
+                         cm[v] -= 1;
+                         ++w;
+                       }
+                       return w;
+                     });
+          dev.launch("coarsen/cmap/final" + L, T, final_body);
+        }
         coarse_count[static_cast<std::size_t>(d)] = nc;
         cur.cmaps[static_cast<std::size_t>(d)] = cmap.d2h_vector();
         // Range audit BEFORE the host consumes the downloaded cmap: the

@@ -65,6 +65,7 @@ void CostLedger::charge_gpu_kernel(const std::string& label,
   e.label = label;
   e.work_units = total_work;
   e.imbalance = std::max(1.0, imbalance);
+  e.launches = 1;
   e.seconds =
       ((static_cast<double>(total_work) +
         (total_work > 0 ? model_.gpu_low_occupancy_tail_units : 0.0)) /
@@ -72,6 +73,35 @@ void CostLedger::charge_gpu_kernel(const std::string& label,
           std::pow(e.imbalance, model_.gpu_imbalance_exp) +
       model_.gpu_kernel_launch_s;
   push(std::move(e));
+}
+
+void CostLedger::charge_gpu_fused(const std::string& label,
+                                  const std::vector<GpuFusedStage>& stages) {
+  // Header: the dispatch itself.  Launch overhead once, and ONE
+  // low-occupancy ramp for the whole chained pipeline (stages hand work
+  // over through the scoreboard without a device-wide drain, so the
+  // machine fills once, not per stage).
+  std::uint64_t total_work = 0;
+  for (const auto& s : stages) total_work += s.work_units;
+  CostEntry h;
+  h.label = label;
+  h.launches = 1;
+  h.seconds = model_.gpu_kernel_launch_s +
+              (total_work > 0
+                   ? model_.gpu_low_occupancy_tail_units / model_.gpu_work_rate
+                   : 0.0);
+  push(std::move(h));
+  // Constituent sweeps: full-bandwidth work under each stage's own warp
+  // imbalance — fusing saves dispatch overhead, never memory traffic.
+  for (const auto& s : stages) {
+    CostEntry e;
+    e.label = label + "/" + s.name;
+    e.work_units = s.work_units;
+    e.imbalance = std::max(1.0, s.imbalance);
+    e.seconds = (static_cast<double>(s.work_units) / model_.gpu_work_rate) *
+                std::pow(e.imbalance, model_.gpu_imbalance_exp);
+    push(std::move(e));
+  }
 }
 
 void CostLedger::charge_transfer(const std::string& label,
@@ -124,6 +154,14 @@ std::uint64_t CostLedger::bytes_with_prefix(const std::string& prefix) const {
     if (e.label.rfind(prefix, 0) == 0) b += e.bytes;
   }
   return b;
+}
+
+std::uint64_t CostLedger::launches_with_prefix(const std::string& prefix) const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.label.rfind(prefix, 0) == 0) n += e.launches;
+  }
+  return n;
 }
 
 void CostLedger::clear() {

@@ -68,6 +68,18 @@ struct CostEntry {
   std::uint64_t work_units = 0;
   std::uint64_t bytes = 0;
   double        imbalance = 1.0;
+  /// Kernel dispatches this entry represents: 1 for a launch header (plain
+  /// or fused), 0 for fused per-stage sweeps, transfers, and CPU passes —
+  /// so launches_with_prefix() counts dispatches, not ledger rows.
+  std::uint32_t launches = 0;
+};
+
+/// One constituent sweep of a fused (single-dispatch) GPU kernel: the
+/// stage's metered work and warp imbalance.  See CostLedger::charge_gpu_fused.
+struct GpuFusedStage {
+  std::string   name;
+  std::uint64_t work_units = 0;
+  double        imbalance = 1.0;
 };
 
 /// Accumulates modeled time.  Each partitioner carries one ledger; phases
@@ -103,6 +115,18 @@ class CostLedger {
   void charge_gpu_kernel(const std::string& label, std::uint64_t total_work,
                          double imbalance);
 
+  /// One FUSED (single-dispatch) GPU kernel made of several dependent
+  /// sweeps (DESIGN.md §3.9).  The fused-launch charging rule: launch
+  /// overhead and the low-occupancy ramp are credited ONCE for the whole
+  /// dispatch — decoupled chaining pipelines the stages, so there is no
+  /// per-stage drain — but every constituent sweep's memory work is
+  /// charged honestly at full bandwidth under its own warp imbalance.
+  /// Emits a header entry `label` (the dispatch, launches=1) plus one
+  /// entry `label + "/" + stage.name` per sweep (launches=0), so phase
+  /// roll-ups and the tiling gate see every second exactly once.
+  void charge_gpu_fused(const std::string& label,
+                        const std::vector<GpuFusedStage>& stages);
+
   /// One host<->device copy.
   void charge_transfer(const std::string& label, std::uint64_t bytes);
 
@@ -128,6 +152,12 @@ class CostLedger {
 
   /// Total bytes of entries whose label starts with `prefix` (transfers).
   [[nodiscard]] std::uint64_t bytes_with_prefix(
+      const std::string& prefix) const;
+
+  /// Kernel dispatches among entries whose label starts with `prefix`
+  /// (fused launches count once, their stage rows zero) — the per-phase
+  /// kernel-count breakdown behind BENCH_e2e.json's `kernels_by_phase`.
+  [[nodiscard]] std::uint64_t launches_with_prefix(
       const std::string& prefix) const;
 
   void clear();

@@ -20,4 +20,18 @@ inline constexpr vid_t kInvalidVid = -1;
 /// Sentinel "no partition" marker.
 inline constexpr part_t kInvalidPart = -1;
 
+/// Device-wide prefix-sum strategy for the simulated GPU pipelines
+/// (src/gpu/scan.hpp, DESIGN.md §3.9).
+///
+///   kBlocked  — the classic CUB-style three-kernel blocked scan, and the
+///               historical one-kernel-per-stage level pipelines around it.
+///   kLookback — single-pass decoupled-lookback scan, and the fused
+///               single-dispatch level pipelines built on it (a whole
+///               matching/contraction/refinement stage chain is metered as
+///               one kernel launch).
+///
+/// Both modes produce byte-identical partitions; kBlocked is kept for the
+/// differential harness and the scan ablation bench.
+enum class GpuScanMode { kBlocked, kLookback };
+
 }  // namespace gp

@@ -62,7 +62,8 @@ TEST_P(GpuContractMode, MatchesSerialReference) {
 
   GpuContractStats st;
   const auto coarse = gpu_contract(dev, gg, m.match, m.cmap, m.n_coarse, 0,
-                                   2048, GetParam(), &st)
+                                   2048, GetParam(), GpuScanMode::kBlocked,
+                                   &st)
                           .download();
   const auto ref = contract_serial(g, match, cmap, m.n_coarse);
   EXPECT_TRUE(coarse.validate().empty()) << coarse.validate();
@@ -83,7 +84,7 @@ TEST(GpuContract, TempArraysFreedAfterContraction) {
   auto gg = GpuGraph::upload(dev, g, "t");
   auto m = gpu_match(dev, gg, 0, 7, 1024);
   auto coarse = gpu_contract(dev, gg, m.match, m.cmap, m.n_coarse, 0, 1024,
-                             true, nullptr);
+                             true, GpuScanMode::kBlocked, nullptr);
   // Only the fine graph, match/cmap, and the coarse graph remain.
   const auto expected = before + gg.bytes() + coarse.bytes() +
                         2 * static_cast<std::size_t>(g.num_vertices()) *

@@ -11,6 +11,8 @@
 //   --threads <n>    CPU threads for mt phases (default 8)
 //   --ranks <n>      simulated MPI ranks (parmetis; default 8)
 //   --devices <n>    simulated GPUs (gp-metis-multi; default 2)
+//   --gpu-scan <m>   device scan/dispatch strategy: blocked|lookback
+//                    (default lookback; DESIGN.md §3.9)
 //   --dimacs         input is DIMACS-9 .gr instead of METIS .graph
 //   --binary         input is the library's binary CSR snapshot
 //   --report         print the per-part quality table
@@ -56,7 +58,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: gpmetis <graph-file> <k> [--system NAME] [--eps F] "
                "[--seed N] [--threads N] [--init-trials N] [--ranks N] "
-               "[--devices N] "
+               "[--devices N] [--gpu-scan blocked|lookback] "
                "[--dimacs] [--out PATH] [--fault-spec S] [--fault-seed N] "
                "[--audit off|phase|paranoid] [--time-budget SECONDS] "
                "[--serve N] [--serve-workers N] [--serve-queue-depth N] "
@@ -95,6 +97,16 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--init-trials")) opts.init_trials = std::atoi(next());
     else if (!std::strcmp(argv[i], "--ranks")) opts.ranks = std::atoi(next());
     else if (!std::strcmp(argv[i], "--devices")) opts.gpu_devices = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--gpu-scan")) {
+      const std::string m = next();
+      if (m == "blocked") opts.gpu_scan = GpuScanMode::kBlocked;
+      else if (m == "lookback") opts.gpu_scan = GpuScanMode::kLookback;
+      else {
+        std::fprintf(stderr, "--gpu-scan: expected blocked|lookback, got \"%s\"\n",
+                     m.c_str());
+        return 2;
+      }
+    }
     else if (!std::strcmp(argv[i], "--dimacs")) dimacs = true;
     else if (!std::strcmp(argv[i], "--binary")) binary = true;
     else if (!std::strcmp(argv[i], "--report")) report = true;
