@@ -1,0 +1,159 @@
+#include "chaos/shrink.hpp"
+
+#include <cstdint>
+#include <utility>
+
+namespace gp {
+
+namespace {
+
+/// Probability floor for `:p=` shrinking: below this the rule effectively
+/// never fires at campaign scale, so halving further only wastes probes.
+constexpr double kMinProbability = 0.001;
+
+/// Total clause count across the plan's four clause kinds.
+std::size_t clause_count(const FaultPlan& p) {
+  return p.rules.size() + p.device_losses.size() + p.rank_failures.size() +
+         (p.mem_cap_bytes != 0 ? 1 : 0);
+}
+
+/// Copy of `p` with clause index `i` (in rules / device_losses /
+/// rank_failures / mem-cap order) removed.
+FaultPlan without_clause(const FaultPlan& p, std::size_t i) {
+  FaultPlan out = p;
+  if (i < out.rules.size()) {
+    out.rules.erase(out.rules.begin() + static_cast<std::ptrdiff_t>(i));
+    return out;
+  }
+  i -= out.rules.size();
+  if (i < out.device_losses.size()) {
+    out.device_losses.erase(out.device_losses.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    return out;
+  }
+  i -= out.device_losses.size();
+  if (i < out.rank_failures.size()) {
+    out.rank_failures.erase(out.rank_failures.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    return out;
+  }
+  out.mem_cap_bytes = 0;
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const ChaosPredicate& pred, int max_probes)
+      : pred_(pred), budget_(max_probes) {}
+
+  [[nodiscard]] bool fails(const FaultPlan& p) {
+    if (budget_ <= 0) return false;  // out of probes: treat as "fixed"
+    --budget_;
+    ++probes_;
+    return pred_(p);
+  }
+
+  [[nodiscard]] int probes() const { return probes_; }
+  [[nodiscard]] bool exhausted() const { return budget_ <= 0; }
+
+ private:
+  const ChaosPredicate& pred_;
+  int budget_;
+  int probes_ = 0;
+};
+
+/// Shrinks one non-negative scalar to its minimum failing value: halve
+/// while the predicate still fails, then step down by 1 to the exact
+/// boundary.  `apply` writes a candidate value into a plan copy.
+template <typename Apply>
+std::uint64_t shrink_scalar(Shrinker& sh, const FaultPlan& base,
+                            std::uint64_t value, const Apply& apply) {
+  while (value > 0) {
+    const std::uint64_t half = value / 2;
+    FaultPlan cand = base;
+    apply(cand, half);
+    if (!sh.fails(cand)) break;
+    value = half;
+  }
+  while (value > 0) {
+    FaultPlan cand = base;
+    apply(cand, value - 1);
+    if (!sh.fails(cand)) break;
+    --value;
+  }
+  return value;
+}
+
+}  // namespace
+
+ShrinkResult shrink_fault_plan(const FaultPlan& initial,
+                               const ChaosPredicate& still_fails,
+                               int max_probes) {
+  ShrinkResult res;
+  res.plan = initial;
+  Shrinker sh(still_fails, max_probes);
+
+  if (!sh.fails(initial)) {
+    // The reproducer does not reproduce: hand the input back unconverged
+    // so the caller can flag flaky (nondeterministic) violations.
+    res.spec = initial.to_string();
+    res.probes = sh.probes();
+    return res;
+  }
+
+  // --- phase 1: greedy clause drop to a fixpoint -------------------------
+  bool dropped = true;
+  while (dropped) {
+    dropped = false;
+    for (std::size_t i = 0; i < clause_count(res.plan); ++i) {
+      FaultPlan cand = without_clause(res.plan, i);
+      if (sh.fails(cand)) {
+        res.plan = std::move(cand);
+        dropped = true;
+        break;  // indices shifted: rescan from the front
+      }
+    }
+  }
+
+  // --- phase 2: shrink surviving counts and probabilities ----------------
+  for (std::size_t i = 0; i < res.plan.rules.size(); ++i) {
+    FaultRule& r = res.plan.rules[i];
+    if (r.at > 0) {
+      r.at = static_cast<std::int64_t>(shrink_scalar(
+          sh, res.plan, static_cast<std::uint64_t>(r.at),
+          [i](FaultPlan& p, std::uint64_t v) {
+            p.rules[i].at = static_cast<std::int64_t>(v);
+          }));
+    } else if (r.at < 0 && r.p > kMinProbability) {
+      double p_val = r.p;
+      while (p_val / 2 >= kMinProbability) {
+        FaultPlan cand = res.plan;
+        cand.rules[i].p = p_val / 2;
+        if (!sh.fails(cand)) break;
+        p_val /= 2;
+      }
+      r.p = p_val;
+    }
+  }
+  for (std::size_t i = 0; i < res.plan.device_losses.size(); ++i) {
+    auto& dl = res.plan.device_losses[i];
+    dl.after_ops = shrink_scalar(sh, res.plan, dl.after_ops,
+                                 [i](FaultPlan& p, std::uint64_t v) {
+                                   p.device_losses[i].after_ops = v;
+                                 });
+  }
+  for (std::size_t i = 0; i < res.plan.rank_failures.size(); ++i) {
+    auto& rf = res.plan.rank_failures[i];
+    rf.from_superstep = shrink_scalar(sh, res.plan, rf.from_superstep,
+                                      [i](FaultPlan& p, std::uint64_t v) {
+                                        p.rank_failures[i].from_superstep = v;
+                                      });
+  }
+
+  res.spec = res.plan.to_string();
+  res.probes = sh.probes();
+  res.converged = !sh.exhausted();
+  return res;
+}
+
+}  // namespace gp

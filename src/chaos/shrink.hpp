@@ -1,0 +1,45 @@
+// Delta-debugging minimizer for failing fault specs (DESIGN.md §3.10).
+//
+// When the chaos campaign finds an oracle violation, the offending spec is
+// usually a haystack: most of its clauses are irrelevant and the counts /
+// probabilities are larger than they need to be.  shrink_fault_plan()
+// reduces a plan against an arbitrary "still fails?" predicate:
+//
+//   1. greedy clause drop — repeatedly remove any single clause (rule,
+//      device loss, rank failure, or the mem-cap) whose removal keeps the
+//      predicate failing, until a fixpoint;
+//   2. scalar shrink — for every surviving `site@N` halve N while the
+//      predicate holds, then walk it down by 1 to the exact minimum; for
+//      every `:p=` rule halve the probability toward a floor; device-loss
+//      and rank-failure trigger points shrink the same way.
+//
+// The predicate is a plain std::function so tests can drive the shrinker
+// with synthetic oracles and the campaign can plug in "re-run the driver
+// and re-check the oracle".  Determinism is inherited: a deterministic
+// predicate yields a deterministic minimal reproducer.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/fault.hpp"
+
+namespace gp {
+
+/// Returns true when the candidate plan still reproduces the failure.
+using ChaosPredicate = std::function<bool(const FaultPlan&)>;
+
+struct ShrinkResult {
+  FaultPlan plan;        ///< minimized plan (== input when not converged)
+  std::string spec;      ///< plan.to_string(), ready to paste
+  int probes = 0;        ///< predicate evaluations spent
+  bool converged = false;///< false: the input did not fail, or probes ran out
+};
+
+/// Minimizes `initial` against `still_fails`.  `max_probes` bounds the
+/// total predicate evaluations (each probe may be a full partitioner run).
+[[nodiscard]] ShrinkResult shrink_fault_plan(const FaultPlan& initial,
+                                             const ChaosPredicate& still_fails,
+                                             int max_probes = 400);
+
+}  // namespace gp

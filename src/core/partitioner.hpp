@@ -146,12 +146,14 @@ struct DeviceExecStats {
   std::uint64_t pool_hits = 0;   ///< scratch acquisitions served from pool
   std::uint64_t pool_misses = 0; ///< acquisitions that allocated fresh memory
   std::uint64_t pool_recycled_bytes = 0;  ///< bytes served without malloc
+  std::int64_t  pool_leaked_blocks = 0;   ///< blocks outstanding at teardown
 
   DeviceExecStats& operator+=(const DeviceExecStats& o) {
     kernels_launched += o.kernels_launched;
     pool_hits += o.pool_hits;
     pool_misses += o.pool_misses;
     pool_recycled_bytes += o.pool_recycled_bytes;
+    pool_leaked_blocks += o.pool_leaked_blocks;
     return *this;
   }
 };

@@ -146,13 +146,14 @@ std::string format_service_stats(const ServiceStats& s) {
   std::snprintf(
       buf, sizeof(buf),
       "         completed %llu (degraded %llu) | deadline misses %llu | "
-      "retries %llu | cancelled %llu | failed %llu\n",
+      "retries %llu | cancelled %llu | failed %llu | leaked blocks %llu\n",
       static_cast<unsigned long long>(s.completed),
       static_cast<unsigned long long>(s.completed_degraded),
       static_cast<unsigned long long>(s.deadline_misses),
       static_cast<unsigned long long>(s.retries),
       static_cast<unsigned long long>(s.cancelled),
-      static_cast<unsigned long long>(s.failed));
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.leaked_blocks));
   os << buf;
   return os.str();
 }

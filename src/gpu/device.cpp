@@ -1,6 +1,7 @@
 #include "gpu/device.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "util/log.hpp"
@@ -31,6 +32,22 @@ void Device::check_fault(FaultSite site, const std::string& what) {
 
 void Device::on_alloc(std::size_t bytes) {
   check_fault(FaultSite::kAlloc, std::to_string(bytes) + " bytes");
+  // Injected capacity squeeze (`mem-cap=<bytes>`): the plan shrinks this
+  // device below its configured memory so the pool's OOM path runs
+  // mid-V-cycle.  Checked only when an injector is attached — unarmed
+  // allocations pay nothing beyond the existing null test.
+  if (injector_ != nullptr) {
+    const std::size_t cap = injector_->mem_cap_bytes();
+    if (cap != 0 && cap < config_.memory_bytes && allocated_ + bytes > cap) {
+      injector_->note_mem_cap_hit(bytes, cap);
+      throw DeviceOutOfMemory(
+          "device allocation of " + std::to_string(bytes) +
+              " bytes exceeds injected mem-cap (" +
+              std::to_string(allocated_) + " of " + std::to_string(cap) +
+              " bytes in use)",
+          device_id_);
+    }
+  }
   if (allocated_ + bytes > config_.memory_bytes) {
     throw DeviceOutOfMemory("device allocation of " + std::to_string(bytes) +
                                 " bytes exceeds capacity (" +
@@ -170,7 +187,27 @@ void Device::pool_trim() noexcept {
   }
 }
 
-Device::~Device() { pool_trim(); }
+namespace {
+std::atomic<std::int64_t> g_process_leaked_blocks{0};
+}  // namespace
+
+std::int64_t Device::process_leaked_blocks() {
+  return g_process_leaked_blocks.load(std::memory_order_acquire);
+}
+
+Device::~Device() {
+  if (pool_outstanding_ != 0) {
+    // A DeviceBuffer outlived its Device (or the accounting broke).  The
+    // process-wide ledger is the surface the service engine and the chaos
+    // oracle assert on; the per-run sink attributes the leak to a result.
+    g_process_leaked_blocks.fetch_add(pool_outstanding_,
+                                      std::memory_order_acq_rel);
+    if (leak_sink_ != nullptr) *leak_sink_ += pool_outstanding_;
+    log_warn("device %d destroyed with %lld pool blocks outstanding",
+             device_id_, static_cast<long long>(pool_outstanding_));
+  }
+  pool_trim();
+}
 
 void Device::reset_counters() {
   h2d_bytes_ = 0;

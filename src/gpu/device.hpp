@@ -386,6 +386,18 @@ class Device {
     return pool_outstanding_;
   }
 
+  /// Process-wide count of pool blocks still outstanding when their
+  /// Device was destroyed.  Devices are per-run locals inside the
+  /// drivers, so the service engine and the chaos oracle check leaks by
+  /// snapshotting this counter around a run — it must not move.
+  [[nodiscard]] static std::int64_t process_leaked_blocks();
+
+  /// Optional per-run leak sink: the destructor adds any outstanding
+  /// block count to `*sink` (drivers point it at their result's exec
+  /// stats so leaks are attributed even on exception paths).  The sink
+  /// must outlive the Device.
+  void set_leak_sink(std::int64_t* sink) { leak_sink_ = sink; }
+
   /// Resets transfer/kernel counters (not allocations, not pool stats).
   void reset_counters();
 
@@ -435,6 +447,7 @@ class Device {
   std::uint64_t pool_misses_ = 0;
   std::uint64_t pool_recycled_bytes_ = 0;
   std::int64_t  pool_outstanding_ = 0;
+  std::int64_t* leak_sink_ = nullptr;
 };
 
 }  // namespace gp

@@ -75,6 +75,7 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   dev.set_ledger(&res.ledger);
   dev.set_fault_injector(injector, 0);
   dev.set_cancel_token(opts.cancel);
+  dev.set_leak_sink(&res.exec.pool_leaked_blocks);
 
   const AuditLevel audit = opts.audit_level;
 
@@ -210,6 +211,7 @@ void gp_metis_attempt(const CsrGraph& g, const PartitionOptions& opts,
   check_cancelled(opts, "gp/cpu-middle");
   ThreadPool pool(opts.threads);
   pool.set_cancel_token(opts.cancel);
+  pool.set_fault_injector(injector);
   MtContext mt_ctx{&pool, &res.ledger, opts.seed};
   PartitionOptions cpu_opts = opts;
   const MtPipelineControl mt_control{injector, &res.health, &watchdog};
@@ -344,6 +346,7 @@ void pure_cpu_fallback(const CsrGraph& g, const PartitionOptions& opts,
                        PartitionResult& res) {
   ThreadPool pool(opts.threads);
   pool.set_cancel_token(opts.cancel);
+  pool.set_fault_injector(control.injector);
   MtContext ctx{&pool, &res.ledger, opts.seed};
   auto out = mt_multilevel_pipeline(g, opts, ctx, 0, control);
   res.partition = std::move(out.partition);
@@ -420,6 +423,18 @@ PartitionResult gp_metis_run(const CsrGraph& g, const PartitionOptions& opts,
       res.health.note("gp-metis: device failure (" + std::string(e.what()) +
                       "); retrying");
       log_warn("gp-metis: device failure, retrying (attempt %d): %s",
+               attempts, e.what());
+    } catch (const ThreadPoolTaskError& e) {
+      // A CPU-phase task threw (injected `task` fault).  The attempt's
+      // buffers unwound cleanly, so retry the whole attempt like a
+      // transient device failure; occurrence counters keep advancing, so
+      // a one-shot rule cannot refire.
+      res.health.gpu_retries += 1;
+      res.health.degraded = true;
+      res.ledger.charge_raw("fault/task-restart", kDeviceResetSeconds);
+      res.health.note("gp-metis: pool task fault (" + std::string(e.what()) +
+                      "); retrying");
+      log_warn("gp-metis: pool task fault, retrying (attempt %d): %s",
                attempts, e.what());
     } catch (const AuditError& e) {
       // Escalation ladder for silent corruption: re-execute, then swap

@@ -166,6 +166,7 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
     devices.back()->set_fault_injector(injector,
                                        phys[static_cast<std::size_t>(d)]);
     devices.back()->set_cancel_token(opts.cancel);
+    devices.back()->set_leak_sink(&res.exec.pool_leaked_blocks);
   }
 
   // ---- initial block split + shard upload ----
@@ -445,6 +446,15 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
           // Owner lookup on the host (the exchange a real implementation
           // performs device-to-device through the PCIe switch).
           const vid_t gid = ids[i];
+          // A corrupted coarse id from the previous level's contraction
+          // (flipped halo-table upload) surfaces here as an id outside
+          // the global range; trap it as a device fault before the owner
+          // scan walks off the end of vtxdist.
+          if (gid < 0 || gid >= cur.fine_vtxdist.back()) {
+            throw DeviceFailure(
+                "corrupted halo id in mgpu-halo-cmap exchange",
+                dev.device_id());
+          }
           int owner = 0;
           while (gid >= cur.fine_vtxdist[static_cast<std::size_t>(owner) + 1])
             ++owner;
@@ -566,6 +576,17 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
                      auto& out = outs[static_cast<std::size_t>(t)];
                      std::uint64_t work = 0;
                      std::vector<std::pair<vid_t, wgt_t>> scratch;
+                     // The kernel indexes through device copies (leaders,
+                     // partners, adjacency, halo table) that cross the
+                     // corruptible bus; a flipped word there must surface
+                     // as a device fault, not an out-of-bounds host read.
+                     auto trap = [&](const char* what) {
+                       throw DeviceFailure(
+                           std::string("corrupted index in "
+                                       "coarsen/contract/merge (") +
+                               what + ")",
+                           dev.device_id());
+                     };
                      auto translate = [&](vid_t gu) -> vid_t {
                        if (gu >= sb && gu < se) return cm[gu - sb];
                        // halo: binary search the sorted table
@@ -576,17 +597,24 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
                          else hi = mid;
                        }
                        work += 4;  // log-factor charge
+                       if (lo >= hsz || hid[lo] != gu) trap("halo id");
                        return hval[lo];
                      };
+                     const eid_t me = static_cast<eid_t>(s.adjncy.size());
                      for (vid_t c = bb; c < ee; ++c) {
                        const vid_t v = ld[c];
                        const vid_t u = pt[c];
+                       if (v < 0 || v >= n) trap("leader");
+                       if (u != kInvalidVid && (u < 0 || u >= n))
+                         trap("partner");
                        const vid_t gc = cb + c;
                        cvwgt[static_cast<std::size_t>(c)] =
                            vw[v] + (u != kInvalidVid ? vw[u] : 0);
                        scratch.clear();
                        auto absorb = [&](vid_t src) {
-                         for (eid_t j = adjp[src]; j < adjp[src + 1]; ++j) {
+                         const eid_t jb = adjp[src], je = adjp[src + 1];
+                         if (jb < 0 || je < jb || je > me) trap("adjp row");
+                         for (eid_t j = jb; j < je; ++j) {
                            const vid_t cu = translate(adjncy[j]);
                            if (cu == gc) continue;
                            scratch.emplace_back(cu, adjwgt[j]);
@@ -751,6 +779,7 @@ void multi_gpu_attempt(const CsrGraph& g, const PartitionOptions& opts,
   check_cancelled(opts, "multi/cpu-middle");
   ThreadPool pool(opts.threads);
   pool.set_cancel_token(opts.cancel);
+  pool.set_fault_injector(injector);
   MtContext mt_ctx{&pool, &res.ledger, opts.seed};
   const MtPipelineControl mt_control{injector, &res.health, &watchdog};
   const auto mt_out =
@@ -1022,6 +1051,23 @@ PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
                       std::to_string(phys.size()) + " surviving device(s)");
       log_warn("gp-metis-multi: lost device %d, %zu survive: %s",
                e.device_id(), phys.size(), e.what());
+    } catch (const ThreadPoolTaskError& e) {
+      // Injected `task` fault in a CPU phase: the attempt unwound at a
+      // job boundary, so restart it like a transient device failure (one
+      // rung — a second throw abandons the GPU path for the CPU ladder).
+      ++res.health.gpu_retries;
+      res.health.degraded = true;
+      res.ledger.charge_raw("fault/task-restart", kDeviceResetSeconds);
+      if (++audit_failures > 1) {
+        res.health.note("gp-metis-multi: repeated pool task fault (" +
+                        std::string(e.what()) +
+                        "); abandoning the GPU path");
+        break;
+      }
+      res.health.note("gp-metis-multi: pool task fault (" +
+                      std::string(e.what()) + "); restarting attempt");
+      log_warn("gp-metis-multi: pool task fault, restarting attempt: %s",
+               e.what());
     } catch (const DeviceOutOfMemory& e) {
       res.health.gpu_retries += 1;
       res.health.degraded = true;
@@ -1053,6 +1099,7 @@ PartitionResult multi_gpu_run(const CsrGraph& g, const PartitionOptions& opts,
     try {
       ThreadPool pool(opts.threads);
       pool.set_cancel_token(opts.cancel);
+      pool.set_fault_injector(injector.get());
       MtContext ctx{&pool, &res.ledger, opts.seed};
       const MtPipelineControl control{injector.get(), &res.health, &watchdog};
       auto out = mt_multilevel_pipeline(g, opts, ctx, 0, control);

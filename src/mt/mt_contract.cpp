@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gpu/device_atomics.hpp"
 #include "gpu/hash_table.hpp"
 #include "util/prefix_sum.hpp"
 
@@ -12,15 +13,19 @@ CsrGraph mt_contract(const CsrGraph& fine, const MatchResult& m,
   const vid_t nc = m.n_coarse;
   const int nt = ctx.threads();
 
-  // leaders[c] = fine leader vertex of coarse vertex c.
+  // leaders[c] = fine leader vertex of coarse vertex c.  One writer per
+  // slot on a clean cmap; an injected cmap corruption can alias two
+  // leaders onto one slot, so the store is the annotated racy kind
+  // (either leader is an acceptable winner — the audits judge the rest).
   std::vector<vid_t> leaders(static_cast<std::size_t>(nc));
   ctx.pool->parallel_for_blocked(
       fine.num_vertices(), [&](int, std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
           const auto v = static_cast<vid_t>(i);
           if (v <= m.match[static_cast<std::size_t>(v)]) {
-            leaders[static_cast<std::size_t>(
-                m.cmap[static_cast<std::size_t>(v)])] = v;
+            racy_store(leaders[static_cast<std::size_t>(
+                           m.cmap[static_cast<std::size_t>(v)])],
+                       v);
           }
         }
       });

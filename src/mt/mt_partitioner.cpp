@@ -260,6 +260,7 @@ PartitionResult MtMetisPartitioner::run(const CsrGraph& g,
   MtContext ctx{&pool, &res.ledger, opts.seed};
 
   auto injector = opts.make_fault_injector();
+  pool.set_fault_injector(injector.get());
   const Watchdog watchdog(opts.time_budget_seconds);
   MtPipelineControl control{injector.get(), &res.health, &watchdog};
 
@@ -294,6 +295,17 @@ PartitionResult MtMetisPartitioner::run(const CsrGraph& g,
                                   "corruption suppressed (") +
                       e.what() + ")");
       injector->set_corruption_suppressed(true);
+    } catch (const ThreadPoolTaskError& e) {
+      // Injected `task` fault: the pipeline unwound at a job boundary, so
+      // one whole-run restart recovers; occurrence counters advanced, so
+      // a one-shot rule cannot refire.  A second throw propagates.
+      if (attempt >= 1 || !injector) throw;
+      ++res.health.rollbacks;
+      ++res.health.fallbacks;
+      res.health.degraded = true;
+      res.health.note(std::string("rollback: whole-run restart after pool "
+                                  "task fault (") +
+                      e.what() + ")");
     }
   }
 

@@ -898,6 +898,7 @@ PartitionResult ParMetisPartitioner::run(const CsrGraph& g,
   SimComm comm(P, pool, &res.ledger);
   const std::unique_ptr<FaultInjector> injector = opts.make_fault_injector();
   comm.set_fault_injector(injector.get());
+  pool.set_fault_injector(injector.get());
   const Watchdog watchdog(opts.time_budget_seconds);
 
   for (int attempt = 0;; ++attempt) {

@@ -1,9 +1,11 @@
 #include "service/engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
+#include "gpu/device.hpp"
 #include "util/timer.hpp"
 
 namespace gp {
@@ -176,7 +178,21 @@ void ServiceEngine::execute(AdmissionQueue::Entry entry) {
   const int max_attempts = std::max(1, cfg_.retry.max_attempts);
   WallTimer run_timer;
 
+  // Pool-leak accounting: drivers build their Devices per run, so the
+  // engine watches the process-wide teardown ledger across the request's
+  // attempts.  Concurrent requests can attribute each other's leaks (the
+  // counter is global), but any nonzero total is a bug either way.
+  const std::int64_t leaks_before = Device::process_leaked_blocks();
+
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    // A request cancelled while backing off must not burn further ladder
+    // rungs: stop before the next attempt starts (the in-attempt check
+    // is the driver's own CancelledError path).
+    if (attempt > 1 && ticket.cancel_.cancelled()) {
+      out.state = RequestState::kCancelled;
+      out.attempt_trail.push_back("cancelled(between attempts)");
+      break;
+    }
     const LadderRung& rung = ladder[std::min<std::size_t>(
         static_cast<std::size_t>(attempt - 1), ladder.size() - 1)];
 
@@ -214,11 +230,15 @@ void ServiceEngine::execute(AdmissionQueue::Entry entry) {
         const double delay =
             cfg_.retry.backoff_seconds(req.id, attempt, cfg_.seed);
         out.backoff_seconds += delay;
+        {
+          // Count the retry before sleeping so observers polling stats()
+          // see it as soon as the backoff starts, not after.
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.retries;
+        }
         if (cfg_.sleep_on_backoff) {
           std::this_thread::sleep_for(std::chrono::duration<double>(delay));
         }
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.retries;
         continue;
       }
       out.result = std::move(r);
@@ -244,19 +264,30 @@ void ServiceEngine::execute(AdmissionQueue::Entry entry) {
       const double delay =
           cfg_.retry.backoff_seconds(req.id, attempt, cfg_.seed);
       out.backoff_seconds += delay;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.retries;
+      }
       if (cfg_.sleep_on_backoff) {
         std::this_thread::sleep_for(std::chrono::duration<double>(delay));
       }
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.retries;
     }
   }
+
+  // Every Device the attempts created has been destroyed by now; the
+  // pool ledger must be back to where it started (satellite of the chaos
+  // oracle — see DESIGN.md §3.10).
+  out.leaked_blocks = Device::process_leaked_blocks() - leaks_before;
+  assert(out.leaked_blocks == 0 && "service request leaked pool blocks");
 
   out.run_seconds = run_timer.seconds();
   out.deadline_missed = req.deadline_seconds > 0.0 &&
                         out.total_seconds() > req.deadline_seconds;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (out.leaked_blocks > 0) {
+      stats_.leaked_blocks += static_cast<std::uint64_t>(out.leaked_blocks);
+    }
     switch (out.state) {
       case RequestState::kDone:
         ++stats_.completed;

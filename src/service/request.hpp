@@ -76,6 +76,10 @@ struct RequestOutcome {
   /// One entry per attempt: "<system>:<ok|degraded|threw>".
   std::vector<std::string> attempt_trail;
   bool deadline_missed = false;     ///< total latency exceeded the deadline
+  /// Device pool blocks leaked across this request's attempts (delta of
+  /// Device::process_leaked_blocks()); always 0 unless a driver broke
+  /// its buffer lifetimes.
+  std::int64_t leaked_blocks = 0;
 
   double queue_seconds = 0.0;       ///< admission -> dequeue
   double run_seconds = 0.0;         ///< dequeue -> terminal (incl. retries)
@@ -99,6 +103,7 @@ struct ServiceStats {
   std::uint64_t retries = 0;           ///< extra attempts beyond the first
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;
+  std::uint64_t leaked_blocks = 0;     ///< pool blocks leaked by any request
 
   [[nodiscard]] std::uint64_t shed_total() const {
     return shed_queue_full + shed_cost_budget + shed_shutdown;

@@ -1,6 +1,7 @@
 #include "util/fault.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -19,6 +20,7 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kFlip:      return "flip";
     case FaultSite::kPayload:   return "payload";
     case FaultSite::kCmap:      return "cmap";
+    case FaultSite::kTask:      return "task";
     default:                    return "?";
   }
 }
@@ -46,6 +48,58 @@ bool parse_site(const std::string& name, FaultSite* out) {
     }
   }
   return false;
+}
+
+/// Shortest printf precision whose output strtod's back to exactly `p`.
+std::string format_probability(double p) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, p);
+    if (std::strtod(buf, nullptr) == p) break;
+  }
+  return buf;
+}
+
+/// Post-parse validation: a well-formed plan has at most one rule per
+/// (site, occurrence), one probabilistic rule per site, one mem-cap, and
+/// one loss/failure clause per device/rank id.  Without this a duplicate
+/// silently took last-writer, which broke to_string round-tripping and
+/// made shrunk reproducers ambiguous.
+void reject_conflicts(const FaultPlan& plan) {
+  const auto dup = [](const std::string& what) {
+    throw std::invalid_argument("fault spec: conflicting clauses: " + what);
+  };
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.rules.size(); ++j) {
+      const auto& a = plan.rules[i];
+      const auto& b = plan.rules[j];
+      if (a.site != b.site) continue;
+      const char* site = fault_site_name(a.site);
+      if (a.at >= 0 && a.at == b.at) {
+        dup("duplicate '" + std::string(site) + "@" +
+            std::to_string(a.at) + "'");
+      }
+      if (a.at < 0 && b.at < 0) {
+        dup("two probabilistic rules for site '" + std::string(site) + "'");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < plan.device_losses.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.device_losses.size(); ++j) {
+      if (plan.device_losses[i].device == plan.device_losses[j].device) {
+        dup("device" + std::to_string(plan.device_losses[i].device) +
+            " lost twice");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < plan.rank_failures.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.rank_failures.size(); ++j) {
+      if (plan.rank_failures[i].rank == plan.rank_failures[j].rank) {
+        dup("rank" + std::to_string(plan.rank_failures[i].rank) +
+            " failed twice");
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -90,6 +144,15 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       continue;
     }
 
+    // mem-cap=<bytes>: device-capacity squeeze (at most one per plan)
+    if (rule.rfind("mem-cap=", 0) == 0) {
+      const std::int64_t bytes = parse_count(rule, rule.substr(8));
+      if (bytes <= 0) bad_rule(rule, "capacity must be > 0 bytes");
+      if (plan.mem_cap_bytes != 0) bad_rule(rule, "duplicate mem-cap");
+      plan.mem_cap_bytes = static_cast<std::size_t>(bytes);
+      continue;
+    }
+
     // site@N  /  site:p=F
     FaultRule fr;
     const std::size_t at = rule.find('@');
@@ -115,7 +178,39 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     }
     plan.rules.push_back(fr);
   }
+  reject_conflicts(plan);
   return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  const auto clause = [&out](const std::string& c) {
+    if (!out.empty()) out += ';';
+    out += c;
+  };
+  for (const auto& r : rules) {
+    if (r.at >= 0) {
+      clause(std::string(fault_site_name(r.site)) + "@" +
+             std::to_string(r.at));
+    } else {
+      clause(std::string(fault_site_name(r.site)) +
+             ":p=" + format_probability(r.p));
+    }
+  }
+  for (const auto& dl : device_losses) {
+    std::string c = "device" + std::to_string(dl.device) + ":lost";
+    if (dl.after_ops != 0) c += "@" + std::to_string(dl.after_ops);
+    clause(c);
+  }
+  for (const auto& rf : rank_failures) {
+    std::string c = "rank" + std::to_string(rf.rank) + ":fail";
+    if (rf.from_superstep != 0) c += "@" + std::to_string(rf.from_superstep);
+    clause(c);
+  }
+  if (mem_cap_bytes != 0) {
+    clause("mem-cap=" + std::to_string(mem_cap_bytes));
+  }
+  return out;
 }
 
 FaultInjector::FaultInjector(std::uint64_t seed, FaultPlan plan)
@@ -242,6 +337,24 @@ bool FaultInjector::drop_message() {
       std::to_string(counters_[static_cast<int>(FaultSite::kMsg)] - 1) +
       " dropped");
   return true;
+}
+
+bool FaultInjector::task_fault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!site_fires_locked(FaultSite::kTask)) return false;
+  ++fired_;
+  events_.push_back(
+      "task@" +
+      std::to_string(counters_[static_cast<int>(FaultSite::kTask)] - 1) +
+      " throw");
+  return true;
+}
+
+void FaultInjector::note_mem_cap_hit(std::size_t requested, std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++fired_;
+  events_.push_back("mem-cap=" + std::to_string(cap) + " rejected alloc of " +
+                    std::to_string(requested) + " bytes");
 }
 
 void FaultInjector::record_rank_failure(int rank, std::uint64_t superstep) {

@@ -21,13 +21,20 @@
 //   flip@4  flip:p=    bit-flip in the Nth device transfer's payload
 //   payload@2          garble the body of the Nth routed message
 //   cmap@0             perturb one coarse-map entry at the Nth contraction
+//   alloc:p=0.05       each device allocation fails with probability 0.05
+//   task@7  task:p=    Nth ThreadPool dispatch throws from a worker slot
+//   mem-cap=262144     squeeze device capacity to 262144 bytes (OOM path)
 //
 // Occurrence counters advance only on host-side, single-threaded paths
-// (launch entry, transfer metering, message routing), so the schedule is
-// independent of worker-pool interleaving.  Probabilistic decisions hash
-// (seed, site, occurrence) statelessly — sites never perturb each other.
+// (launch entry, transfer metering, message routing, pool dispatch), so the
+// schedule is independent of worker-pool interleaving.  Probabilistic
+// decisions hash (seed, site, occurrence) statelessly — sites never perturb
+// each other.  Duplicate clauses for the same site (same `@N`, a second
+// `:p=` rule, a second `mem-cap=`, repeated device/rank ids) are rejected
+// at parse time so a plan round-trips through to_string() unambiguously.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -45,6 +52,7 @@ enum class FaultSite : int {
   kFlip,     ///< silent bit-flip in a device transfer payload
   kPayload,  ///< silent garble of a routed message body
   kCmap,     ///< silent perturbation of a coarse-map entry
+  kTask,     ///< ThreadPool dispatch throws from inside a worker slot
   kNumSites,
 };
 
@@ -72,12 +80,20 @@ struct FaultPlan {
   std::vector<FaultRule>   rules;
   std::vector<DeviceLoss>  device_losses;
   std::vector<RankFailure> rank_failures;
+  std::size_t              mem_cap_bytes = 0;  ///< 0 = no capacity squeeze
 
   [[nodiscard]] bool empty() const {
-    return rules.empty() && device_losses.empty() && rank_failures.empty();
+    return rules.empty() && device_losses.empty() && rank_failures.empty() &&
+           mem_cap_bytes == 0;
   }
 
   static FaultPlan parse(const std::string& spec);
+
+  /// Canonical serialization: rules in plan order, then device losses,
+  /// rank failures, and the mem-cap clause, ';'-joined.  Probabilities
+  /// print with the shortest representation that round-trips, so
+  /// parse(to_string(parse(s))) == parse(s) for every valid spec.
+  [[nodiscard]] std::string to_string() const;
 };
 
 /// Health record of one partitioner run: what was injected, what the
@@ -124,6 +140,18 @@ class FaultInjector {
   [[nodiscard]] bool superstep_blackout(std::uint64_t superstep);
   /// Per-message drop decision (kMsg rules; counts the occurrence).
   [[nodiscard]] bool drop_message();
+  /// ThreadPool dispatch check (kTask rules; counts one occurrence per
+  /// dispatch, evaluated on the dispatching host thread).  When true the
+  /// pool plants a throw inside worker slot 0 of the job.
+  [[nodiscard]] bool task_fault();
+  /// Plan's device-capacity squeeze in bytes (0 = none).  The plan is
+  /// immutable after construction, so this needs no lock.
+  [[nodiscard]] std::size_t mem_cap_bytes() const {
+    return plan_.mem_cap_bytes;
+  }
+  /// Records an allocation rejected by the mem-cap squeeze (counts as a
+  /// fired fault so the run reports degraded health).
+  void note_mem_cap_hit(std::size_t requested, std::size_t cap);
   /// Fail-stop check for a rank at a given superstep (no counter).
   [[nodiscard]] bool rank_failed(int rank, std::uint64_t superstep) const;
   /// Records a detected rank failure in the event trail (called once by

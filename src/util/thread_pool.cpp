@@ -5,9 +5,28 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/fault.hpp"
+
 namespace gp {
 
 namespace {
+
+/// Wrapper installed when the `task` fault site fires for a dispatch: the
+/// inner body runs to completion first (the fault models a task that
+/// throws, not one that corrupts), then slot 0 throws through the worker
+/// boundary so the record/join/rethrow path is what propagates it.
+struct TaskFaultShim {
+  void (*inner)(void*, int);
+  void* ctx;
+};
+
+void task_fault_invoke(void* p, int slot) {
+  auto* shim = static_cast<TaskFaultShim*>(p);
+  shim->inner(shim->ctx, slot);
+  if (slot == 0) {
+    throw ThreadPoolTaskError("injected pool task fault (slot 0)");
+  }
+}
 
 // Spin budget before parking.  The container may have fewer cores than
 // workers (often just one), so the budget is short and yields its
@@ -120,6 +139,15 @@ void ThreadPool::dispatch(int n_slots, void (*invoke)(void*, int),
     throw CancelledError("pool job before dispatch");
   }
   dispatches_.fetch_add(1, std::memory_order_relaxed);
+  // Injected task fault: decided here on the dispatching thread so the
+  // occurrence schedule is independent of worker interleaving.  The shim
+  // outlives the job — dispatch blocks until the join barrier below.
+  TaskFaultShim shim;
+  if (injector_ && injector_->task_fault()) {
+    shim = {invoke, ctx};
+    invoke = &task_fault_invoke;
+    ctx = &shim;
+  }
   if (n_slots == 1) {
     // Single-slot jobs (tiny kernels, one-thread pools) run inline: no
     // concurrency is possible with one executor, so no synchronization is

@@ -36,10 +36,24 @@
 #include <utility>
 #include <vector>
 
+#include <stdexcept>
+#include <string>
+
 #include "util/cancel.hpp"
 #include "util/types.hpp"
 
 namespace gp {
+
+class FaultInjector;
+
+/// Injected task failure (fault site `task@N` / `task:p=`): thrown from
+/// inside a worker slot so the pool's record/join/rethrow machinery is
+/// exercised, then surfaces from dispatch() on the dispatching thread.
+class ThreadPoolTaskError : public std::runtime_error {
+ public:
+  explicit ThreadPoolTaskError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 class ThreadPool {
  public:
@@ -135,6 +149,14 @@ class ThreadPool {
     return cancel_.load(std::memory_order_acquire);
   }
 
+  /// Arms the `task` fault site: each dispatch() consults the injector on
+  /// the dispatching thread (deterministic occurrence order) and, when the
+  /// plan says so, plants a ThreadPoolTaskError inside worker slot 0 after
+  /// the slot body runs — the job completes, the error is recorded at the
+  /// worker boundary, and dispatch rethrows it after the join.  nullptr
+  /// detaches (default); unarmed dispatches cost one pointer load.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   template <typename F>
   static void trampoline(void* ctx, int id) {
@@ -182,6 +204,7 @@ class ThreadPool {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> dispatches_{0};
   std::atomic<const CancelToken*> cancel_{nullptr};
+  FaultInjector* injector_ = nullptr;
 
   // First exception thrown by any slot of the current job; rethrown by
   // dispatch after the join barrier.  Written under err_mutex_ (slot

@@ -2,6 +2,8 @@
 // graceful-degradation policies of the three partitioner substrates.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "core/partitioner.hpp"
 #include "gen/generators.hpp"
 #include "gpu/device.hpp"
@@ -11,6 +13,7 @@
 #include "par/comm.hpp"
 #include "par/parmetis_partitioner.hpp"
 #include "util/fault.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gp {
 namespace {
@@ -406,6 +409,130 @@ TEST(ParMetisFaults, NoPlanHealthStaysClean) {
   const auto r = ParMetisPartitioner{}.run(g, opts);
   EXPECT_FALSE(r.health.degraded);
   EXPECT_EQ(r.health, RunHealth{});
+}
+
+// ------------------------------------------------- to_string / hardening
+
+TEST(FaultPlan, ToStringRoundTripsEveryClauseKind) {
+  const std::string spec =
+      "alloc@3;kernel:p=0.01;flip@2;cmap:p=0.05;task@7;"
+      "device1:lost;device0:lost@40;rank2:fail;rank1:fail@6;"
+      "mem-cap=262144";
+  const auto plan = FaultPlan::parse(spec);
+  EXPECT_EQ(plan.to_string(), spec);
+  // parse(to_string(parse(s))) == parse(s): the printed form is canonical.
+  const auto reparsed = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(reparsed.to_string(), plan.to_string());
+  EXPECT_EQ(reparsed.mem_cap_bytes, 262144u);
+}
+
+TEST(FaultPlan, ToStringPreservesAwkwardProbabilities) {
+  // 0.1 has no exact double; the printer must still round-trip it.
+  for (const char* spec : {"msg:p=0.1", "flip:p=0.3333333333333333",
+                           "alloc:p=0.001"}) {
+    const auto plan = FaultPlan::parse(spec);
+    const auto again = FaultPlan::parse(plan.to_string());
+    ASSERT_EQ(again.rules.size(), 1u);
+    EXPECT_DOUBLE_EQ(again.rules[0].p, plan.rules[0].p) << spec;
+  }
+}
+
+TEST(FaultPlan, RejectsDuplicateAndConflictingClauses) {
+  EXPECT_THROW(FaultPlan::parse("alloc@3;alloc@3"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kernel:p=0.1;kernel:p=0.2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("device0:lost;device0:lost@5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("rank1:fail;rank1:fail@3"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("mem-cap=4096;mem-cap=8192"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("mem-cap=0"), std::invalid_argument);
+  // Distinct occurrences of the same site remain legal.
+  EXPECT_NO_THROW(FaultPlan::parse("alloc@3;alloc@5"));
+  // One @N rule plus one :p= rule on the same site remains legal.
+  EXPECT_NO_THROW(FaultPlan::parse("task@2;task:p=0.01"));
+}
+
+TEST(FaultPlan, MemCapParsesAndCountsAsNonEmpty) {
+  const auto plan = FaultPlan::parse("mem-cap=65536");
+  EXPECT_EQ(plan.mem_cap_bytes, 65536u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.to_string(), "mem-cap=65536");
+}
+
+// ------------------------------------------------------ new fault sites
+
+TEST(FaultDevice, ProbabilisticAllocCertaintyFiresEveryAllocation) {
+  FaultInjector inj(7, FaultPlan::parse("alloc:p=1"));
+  Device dev;
+  dev.set_fault_injector(&inj, 0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_THROW(DeviceBuffer<vid_t>(dev, 64, "t"), DeviceOutOfMemory);
+  }
+  EXPECT_GE(inj.faults_fired(), 4u);
+}
+
+TEST(FaultPool, TaskFaultThrowsAtNthDispatch) {
+  FaultInjector inj(0, FaultPlan::parse("task@2"));
+  ThreadPool pool(1);
+  pool.set_fault_injector(&inj);
+  std::atomic<int> ran{0};
+  const auto job = [&](int, std::int64_t, std::int64_t) { ++ran; };
+  pool.parallel_for_dynamic(8, 1, job);  // dispatch 0
+  pool.parallel_for_dynamic(8, 1, job);  // dispatch 1
+  EXPECT_THROW(pool.parallel_for_dynamic(8, 1, job), ThreadPoolTaskError);
+  // The pool survives the throw and keeps dispatching.
+  pool.set_fault_injector(nullptr);
+  ran = 0;
+  pool.parallel_for_dynamic(8, 1, job);
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(FaultPool, TaskFaultCrossesWorkerBoundaryOnMultiSlotPools) {
+  // With >1 slot the throw happens on a worker thread and must travel
+  // through the pool's record-and-rethrow-after-join machinery.
+  FaultInjector inj(0, FaultPlan::parse("task@0"));
+  ThreadPool pool(4);
+  pool.set_fault_injector(&inj);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for_dynamic(
+                   64, 1, [&](int, std::int64_t, std::int64_t) { ++ran; }),
+               ThreadPoolTaskError);
+  // The faulted task ran to completion before throwing (fault-at-end
+  // semantics), so no chunk is silently lost besides the injected error.
+  EXPECT_GE(ran.load(), 1);
+  pool.set_fault_injector(nullptr);
+  ran = 0;
+  pool.parallel_for_dynamic(64, 1,
+                            [&](int, std::int64_t, std::int64_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(FaultDevice, MemCapSqueezeThrowsOomAndRecordsEvent) {
+  FaultInjector inj(0, FaultPlan::parse("mem-cap=1024"));
+  Device dev;
+  dev.set_fault_injector(&inj, 0);
+  EXPECT_NO_THROW(DeviceBuffer<vid_t>(dev, 64, "small"));  // under the cap
+  EXPECT_THROW(DeviceBuffer<vid_t>(dev, 4096, "big"), DeviceOutOfMemory);
+  EXPECT_GE(inj.faults_fired(), 1u);
+  RunHealth health;
+  inj.report_into(health);
+  bool saw = false;
+  for (const auto& e : health.events) {
+    if (e.find("mem-cap") != std::string::npos) saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(GpMetisFaults, TaskFaultRetriesAndRecovers) {
+  const auto g = delaunay_graph(4000, 2);
+  PartitionOptions opts = gp_fault_opts();
+  opts.fault_spec = "task@0";
+  const auto r = gp_metis_run(g, opts, nullptr);
+  EXPECT_TRUE(validate_partition(g, r.partition, r.cut, r.balance).empty());
+  EXPECT_TRUE(r.health.degraded);
+  EXPECT_GE(r.health.gpu_retries, 1u);
 }
 
 }  // namespace

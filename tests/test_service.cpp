@@ -5,8 +5,10 @@
 // cancellation that unwinds cleanly out of every driver.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/partition.hpp"
@@ -308,6 +310,48 @@ TEST(ServiceCancel, MidRunCancellationUnwindsDriversCleanly) {
   EXPECT_TRUE(validate_partition(g, r.partition, r.cut, r.balance).empty());
 }
 
+TEST(ServiceCancel, CancelDuringBackoffStopsTheRetryLadder) {
+  // A request cancelled mid-retry-ladder must unwind without firing
+  // further attempts.  Attempt 1 degrades under injected corruption, the
+  // worker starts a long real backoff sleep (retries counter visibly
+  // bumped first), the caller cancels during the sleep, and the ladder
+  // stops at the pre-attempt cancellation check.
+  const auto g = delaunay_graph(4000, 3);
+  PartitionOptions opts = det_opts();
+  opts.audit_level = AuditLevel::kPhase;
+  opts.fault_spec = "cmap:p=1";  // every fault-live attempt degrades
+
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.seed = 42;
+  cfg.sleep_on_backoff = true;
+  cfg.retry.base_backoff_seconds = 2.0;
+  cfg.retry.max_backoff_seconds = 2.0;
+  cfg.retry.backoff_multiplier = 1.0;
+  cfg.retry.jitter = 0.0;
+
+  ServiceEngine engine(cfg);
+  auto t = engine.submit(g, opts, Priority::kNormal, -1, "mt-metis");
+  ASSERT_NE(t, nullptr);
+  // The retry counter is incremented before the backoff sleep starts,
+  // so polling it places the cancel inside the sleep window.
+  while (engine.stats().retries < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  t->cancel();
+  const auto out = t->wait();
+  engine.shutdown(/*drain=*/true);
+
+  EXPECT_EQ(out.state, RequestState::kCancelled);
+  EXPECT_EQ(out.attempts, 1);  // the second rung never fired
+  ASSERT_EQ(out.attempt_trail.size(), 2u);
+  EXPECT_EQ(out.attempt_trail[0], "mt-metis:degraded");
+  EXPECT_EQ(out.attempt_trail[1], "cancelled(between attempts)");
+  EXPECT_EQ(out.leaked_blocks, 0);
+  EXPECT_EQ(engine.stats().leaked_blocks, 0u);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+}
+
 // ---------------------------------------------------- config + plumbing
 
 TEST(ServiceConfigValidation, RejectsNonsense) {
@@ -360,10 +404,25 @@ TEST(ServiceStatsFormat, RendersBothLines) {
   s.accepted = 7;
   s.shed_queue_full = 3;
   s.completed = 7;
+  s.leaked_blocks = 2;
   const std::string txt = format_service_stats(s);
   EXPECT_NE(txt.find("submitted 10"), std::string::npos);
   EXPECT_NE(txt.find("queue-full 3"), std::string::npos);
   EXPECT_NE(txt.find("completed 7"), std::string::npos);
+  EXPECT_NE(txt.find("leaked blocks 2"), std::string::npos);
+}
+
+TEST(ServiceStats, PoolAccountingIsZeroAfterNormalRuns) {
+  const auto g = delaunay_graph(4000, 3);
+  PartitionOptions opts = det_opts();
+  ServiceEngine engine(sync_cfg());
+  auto a = engine.submit(g, opts, Priority::kNormal, -1, "gp-metis");
+  auto b = engine.submit(g, opts, Priority::kNormal, -1, "gp-metis-multi");
+  while (engine.run_one()) {
+  }
+  EXPECT_EQ(a->wait().leaked_blocks, 0);
+  EXPECT_EQ(b->wait().leaked_blocks, 0);
+  EXPECT_EQ(engine.stats().leaked_blocks, 0u);
 }
 
 }  // namespace
